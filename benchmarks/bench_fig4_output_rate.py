@@ -1,0 +1,66 @@
+"""EXP-2 — Figure 4: output-rate characteristics of PT vs GenMig.
+
+Regenerates the paper's first experiment: the 4-way sliding-window join
+migrated from the left-deep to the right-deep tree.  Reported series: the
+number of results delivered per time bucket for Parallel Track and GenMig.
+The asserted shape matches Figure 4:
+
+* PT delivers old-plan output for the first window after migration start,
+  then nothing for about one window, then a large burst when the buffered
+  new-box output is flushed;
+* GenMig produces smoothly throughout the migration and simply switches to
+  the new plan's rate at ``T_split``.
+"""
+
+import pytest
+
+from workload import print_series, run_experiment, scaled_config, verify_against_baseline
+
+
+def run_all():
+    config = scaled_config()
+    return {
+        name: run_experiment(name, config)
+        for name in ("none", "parallel-track", "genmig")
+    }
+
+
+def test_fig4_output_rate(benchmark):
+    runs = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    config = runs["none"].config
+    bucket = config.bucket
+    last = max(max(run.sink.counts, default=0) for run in runs.values())
+    series = {
+        name: run.sink.rate_series(last_bucket=last)
+        for name, run in runs.items()
+    }
+    print_series(
+        "Figure 4: output rate (results per bucket)",
+        {"no-migration": series["none"], "PT": series["parallel-track"],
+         "GenMig": series["genmig"]},
+        bucket,
+    )
+
+    for name in ("parallel-track", "genmig"):
+        verify_against_baseline(runs[name])
+
+    pt = runs["parallel-track"]
+    genmig = runs["genmig"]
+    migrate_bucket = config.migrate_at // bucket
+    window_buckets = config.window // bucket
+
+    # PT: silence during the second migration window...
+    pt_end_bucket = int(pt.report.completed_at) // bucket
+    silent = series["parallel-track"][migrate_bucket + window_buckets + 1 : pt_end_bucket]
+    assert sum(silent) == 0, "PT must be silent while purging old elements"
+
+    # ...followed by the flush burst.
+    steady = series["none"][2 : migrate_bucket]
+    steady_rate = sum(steady) / max(1, len(steady))
+    assert series["parallel-track"][pt_end_bucket] > 3 * steady_rate
+
+    # GenMig: output in every bucket of the migration, no burst anywhere.
+    genmig_end_bucket = int(genmig.report.completed_at) // bucket
+    during = series["genmig"][migrate_bucket:genmig_end_bucket]
+    assert all(count > 0 for count in during)
+    assert max(series["genmig"]) < 3 * max(series["none"])

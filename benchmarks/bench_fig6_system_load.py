@@ -1,0 +1,74 @@
+"""EXP-4 — Figure 6: total system load under saturation.
+
+The paper processes the same input "as fast as possible" with an expensive
+join predicate and plots cumulative output against elapsed (saturated)
+time; total runtime compares the strategies' overall system load.  Wall
+clock on 2006 hardware is substituted by deterministic *CPU cost units*
+(one per elementary operation, ``join_cost`` per predicate evaluation —
+see DESIGN.md), so the x-axis here is cost consumed and the "runtime" is
+the total cost to drain the input.
+
+Asserted shape (paper, Section 5):
+
+* all three strategies produce the same (complete) result;
+* the slope is shallower during migration (two plans run in parallel);
+* total cost: PT > GenMig-coalesce >= GenMig-reference-point.
+"""
+
+import pytest
+
+from workload import print_series, run_experiment, scaled_config, verify_against_baseline
+
+EXPENSIVE_PREDICATE = 10
+
+
+def run_all():
+    config = scaled_config(join_cost=EXPENSIVE_PREDICATE)
+    return {
+        name: run_experiment(name, config)
+        for name in ("none", "parallel-track", "genmig", "genmig-rp")
+    }
+
+
+def test_fig6_system_load(benchmark):
+    runs = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    config = runs["none"].config
+
+    cost = {name: run.metrics.cumulative_cost() for name, run in runs.items()}
+    results = {name: run.metrics.cumulative_results() for name, run in runs.items()}
+    print_series(
+        "Figure 6: cumulative cost units (system load over time)",
+        {"no-mig": cost["none"], "PT": cost["parallel-track"],
+         "GenMig": cost["genmig"], "GenMig-RP": cost["genmig-rp"]},
+        config.bucket,
+    )
+    print_series(
+        "Figure 6: cumulative results",
+        {"no-mig": results["none"], "PT": results["parallel-track"],
+         "GenMig": results["genmig"], "GenMig-RP": results["genmig-rp"]},
+        config.bucket,
+    )
+    totals = {name: run.meter.total for name, run in runs.items()}
+    print("\n== Figure 6: total system load (cost units; lower is better) ==")
+    for name, total in sorted(totals.items(), key=lambda item: item[1]):
+        print(f"{name:16s} {total:>12,}")
+
+    for name in ("parallel-track", "genmig", "genmig-rp"):
+        verify_against_baseline(runs[name])
+
+    # Total load: GenMig beats PT; the reference-point optimization saves
+    # the coalesce costs on top.
+    assert totals["genmig"] < totals["parallel-track"]
+    assert totals["genmig-rp"] < totals["genmig"]
+    assert runs["genmig"].meter.by_category.get("coalesce", 0) > 0
+    assert runs["genmig-rp"].meter.by_category.get("coalesce", 0) == 0
+
+    # During migration both plans run: the per-bucket cost is higher than
+    # steady state for every migrating strategy.
+    bucket = config.bucket
+    migrate_bucket = config.migrate_at // bucket
+    for name in ("parallel-track", "genmig"):
+        series = cost[name]
+        steady = series[migrate_bucket] - series[migrate_bucket - 2]
+        during = series[migrate_bucket + 3] - series[migrate_bucket + 1]
+        assert during > steady

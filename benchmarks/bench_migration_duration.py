@@ -1,0 +1,45 @@
+"""EXP-5 — Section 4.4's analytic claims, measured.
+
+The paper derives: GenMig's migration lasts about ``w`` time units (the
+time for every input to pass ``T_split``), while Parallel Track needs about
+``2w`` for multi-join trees (one window of useful parallel work plus one
+window of purging); Moving States completes instantly but pays a seeding
+burst.  This benchmark measures all strategies on the Section 5 scenario
+and prints the duration table.
+"""
+
+import pytest
+
+from workload import run_experiment, scaled_config, verify_against_baseline
+
+STRATEGIES = ("genmig", "genmig-rp", "parallel-track", "moving-states")
+
+
+def run_all():
+    config = scaled_config()
+    return {name: run_experiment(name, config) for name in STRATEGIES}
+
+
+def test_migration_durations(benchmark):
+    runs = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    config = scaled_config()
+    w = config.window
+
+    print("\n== Section 4.4: migration durations (application time) ==")
+    print(f"{'strategy':16s}{'duration':>10s}{'in windows':>12s}  extras")
+    for name, run in runs.items():
+        report = run.report
+        print(f"{name:16s}{report.duration:>10}{report.duration / w:>12.2f}  {report.extra}")
+
+    for run in runs.values():
+        verify_against_baseline(run)
+
+    durations = {name: run.report.duration for name, run in runs.items()}
+    # GenMig: about one window.
+    assert 0.9 * w <= durations["genmig"] <= 1.25 * w
+    assert 0.9 * w <= durations["genmig-rp"] <= 1.25 * w
+    # PT: about two windows.
+    assert 1.8 * w <= durations["parallel-track"] <= 2.4 * w
+    # MS: instantaneous, but with a seeding burst.
+    assert durations["moving-states"] == 0
+    assert runs["moving-states"].report.extra["seeding_cost"] > 0

@@ -1,0 +1,6 @@
+"""Make the shared workload module importable from every benchmark."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,209 @@
+"""Render the paper's Figures 4-6 as SVG charts.
+
+Standalone script (not collected by pytest): runs the Section 5 experiment
+for every strategy and writes `benchmarks/figures/fig{4,5,6}.svg` using a
+small dependency-free SVG line-chart generator.
+
+    python benchmarks/render_figures.py            # scaled workload
+    REPRO_BENCH_SCALE=paper python benchmarks/render_figures.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Dict, List, Sequence, Tuple
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from workload import run_experiment, scaled_config  # noqa: E402
+
+PALETTE = ("#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee")
+
+
+def _nice_ticks(low: float, high: float, count: int = 5) -> List[float]:
+    if high <= low:
+        return [low]
+    raw_step = (high - low) / count
+    magnitude = 10 ** int(f"{raw_step:e}".split("e")[1])
+    for factor in (1, 2, 5, 10):
+        if raw_step <= factor * magnitude:
+            step = factor * magnitude
+            break
+    first = int(low / step) * step
+    ticks = []
+    value = first
+    while value <= high + step / 2:
+        if value >= low - step / 2:
+            ticks.append(value)
+        value += step
+    return ticks
+
+
+def line_chart(
+    title: str,
+    x_label: str,
+    y_label: str,
+    series: Dict[str, Tuple[Sequence[float], Sequence[float]]],
+    width: int = 720,
+    height: int = 420,
+    annotations: Sequence[Tuple[float, str]] = (),
+) -> str:
+    """Build an SVG line chart; series maps label -> (xs, ys)."""
+    margin_left, margin_right, margin_top, margin_bottom = 70, 20, 40, 50
+    plot_w = width - margin_left - margin_right
+    plot_h = height - margin_top - margin_bottom
+
+    all_x = [x for xs, _ in series.values() for x in xs]
+    all_y = [y for _, ys in series.values() for y in ys]
+    x_lo, x_hi = min(all_x), max(all_x)
+    y_lo, y_hi = 0, max(all_y) * 1.05 or 1
+
+    def sx(x: float) -> float:
+        return margin_left + (x - x_lo) / (x_hi - x_lo or 1) * plot_w
+
+    def sy(y: float) -> float:
+        return margin_top + plot_h - (y - y_lo) / (y_hi - y_lo or 1) * plot_h
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" '
+        f'font-family="Helvetica, Arial, sans-serif" font-size="12">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{width / 2}" y="22" text-anchor="middle" font-size="15" '
+        f'font-weight="bold">{title}</text>',
+    ]
+    # Axes and grid.
+    for tick in _nice_ticks(y_lo, y_hi):
+        y = sy(tick)
+        parts.append(
+            f'<line x1="{margin_left}" y1="{y:.1f}" x2="{width - margin_right}" '
+            f'y2="{y:.1f}" stroke="#dddddd"/>'
+        )
+        parts.append(
+            f'<text x="{margin_left - 6}" y="{y + 4:.1f}" text-anchor="end">'
+            f"{tick:g}</text>"
+        )
+    for tick in _nice_ticks(x_lo, x_hi):
+        x = sx(tick)
+        parts.append(
+            f'<line x1="{x:.1f}" y1="{margin_top}" x2="{x:.1f}" '
+            f'y2="{margin_top + plot_h}" stroke="#f2f2f2"/>'
+        )
+        parts.append(
+            f'<text x="{x:.1f}" y="{margin_top + plot_h + 18}" '
+            f'text-anchor="middle">{tick:g}</text>'
+        )
+    parts.append(
+        f'<rect x="{margin_left}" y="{margin_top}" width="{plot_w}" '
+        f'height="{plot_h}" fill="none" stroke="#333333"/>'
+    )
+    parts.append(
+        f'<text x="{width / 2}" y="{height - 12}" text-anchor="middle">{x_label}</text>'
+    )
+    parts.append(
+        f'<text x="18" y="{margin_top + plot_h / 2}" text-anchor="middle" '
+        f'transform="rotate(-90 18 {margin_top + plot_h / 2})">{y_label}</text>'
+    )
+    # Event markers (migration start, etc.).
+    for x_value, label in annotations:
+        x = sx(x_value)
+        parts.append(
+            f'<line x1="{x:.1f}" y1="{margin_top}" x2="{x:.1f}" '
+            f'y2="{margin_top + plot_h}" stroke="#999999" stroke-dasharray="4 3"/>'
+        )
+        parts.append(
+            f'<text x="{x + 4:.1f}" y="{margin_top + 14}" fill="#666666">{label}</text>'
+        )
+    # Series.
+    for index, (label, (xs, ys)) in enumerate(series.items()):
+        color = PALETTE[index % len(PALETTE)]
+        points = " ".join(f"{sx(x):.1f},{sy(y):.1f}" for x, y in zip(xs, ys))
+        parts.append(
+            f'<polyline points="{points}" fill="none" stroke="{color}" '
+            f'stroke-width="1.8"/>'
+        )
+        legend_y = margin_top + 16 + index * 16
+        legend_x = width - margin_right - 150
+        parts.append(
+            f'<line x1="{legend_x}" y1="{legend_y}" x2="{legend_x + 22}" '
+            f'y2="{legend_y}" stroke="{color}" stroke-width="2.5"/>'
+        )
+        parts.append(
+            f'<text x="{legend_x + 28}" y="{legend_y + 4}">{label}</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def seconds(values: Sequence[float], bucket: int) -> List[float]:
+    return [index * bucket / 1000.0 for index in range(len(values))]
+
+
+def main() -> None:
+    out_dir = os.path.join(os.path.dirname(__file__), "figures")
+    os.makedirs(out_dir, exist_ok=True)
+    config = scaled_config()
+    runs = {name: run_experiment(name, config)
+            for name in ("none", "parallel-track", "genmig")}
+    bucket = config.bucket
+    annotations = [(config.migrate_at / 1000.0, "migration start")]
+
+    # Figure 4: output rate.
+    last = max(max(run.sink.counts, default=0) for run in runs.values())
+    rate = {
+        label: run.sink.rate_series(last_bucket=last)
+        for label, run in (("no migration", runs["none"]),
+                           ("Parallel Track", runs["parallel-track"]),
+                           ("GenMig", runs["genmig"]))
+    }
+    svg = line_chart(
+        "Figure 4 — output rate during migration",
+        "application time [s]", f"results per {bucket} ms",
+        {label: (seconds(ys, bucket), ys) for label, ys in rate.items()},
+        annotations=annotations,
+    )
+    with open(os.path.join(out_dir, "fig4_output_rate.svg"), "w") as f:
+        f.write(svg)
+
+    # Figure 5: memory usage.
+    memory = {
+        label: run.metrics.memory_usage()
+        for label, run in (("no migration", runs["none"]),
+                           ("Parallel Track", runs["parallel-track"]),
+                           ("GenMig", runs["genmig"]))
+    }
+    svg = line_chart(
+        "Figure 5 — state memory during migration",
+        "application time [s]", "payload values held",
+        {label: (seconds(ys, bucket), ys) for label, ys in memory.items()},
+        annotations=annotations,
+    )
+    with open(os.path.join(out_dir, "fig5_memory.svg"), "w") as f:
+        f.write(svg)
+
+    # Figure 6: cumulative results vs consumed cost (saturated mode).
+    expensive = scaled_config(join_cost=10)
+    runs6 = {name: run_experiment(name, expensive)
+             for name in ("parallel-track", "genmig", "genmig-rp")}
+    series6 = {}
+    for label, run in (("Parallel Track", runs6["parallel-track"]),
+                       ("GenMig (coalesce)", runs6["genmig"]),
+                       ("GenMig (ref. point)", runs6["genmig-rp"])):
+        xs = [c / 1e6 for c in run.metrics.cumulative_cost()]
+        ys = run.metrics.cumulative_results()
+        length = min(len(xs), len(ys))
+        series6[label] = (xs[:length], ys[:length])
+    svg = line_chart(
+        "Figure 6 — cumulative results vs consumed CPU cost (saturated)",
+        "cost units consumed [millions]", "cumulative results",
+        series6,
+    )
+    with open(os.path.join(out_dir, "fig6_system_load.svg"), "w") as f:
+        f.write(svg)
+
+    for name in ("fig4_output_rate", "fig5_memory", "fig6_system_load"):
+        print(f"wrote {os.path.join(out_dir, name + '.svg')}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,111 @@
+"""Network monitoring: adaptive join reordering at runtime.
+
+A security team correlates three event streams — connection attempts,
+IDS alerts, and firewall denies — joined on source address over sliding
+windows.  Early on, alerts are rare; later an incident makes them the
+dominant stream.  The re-optimizer watches the live statistics and, when
+the installed left-deep join order becomes inefficient, migrates to a
+better order with GenMig — without stopping the query.
+
+Run with:  python examples/network_monitoring.py
+"""
+
+import random
+
+from repro import CollectorSink, GenMig, QueryExecutor, first_divergence
+from repro.optimizer import CostModel, ReOptimizer
+from repro.plans import Comparison, Field, JoinNode, PhysicalBuilder, Query, Source
+from repro.streams import PhysicalStream, timestamped_stream
+
+WINDOW = 1_000  # 1 s sliding windows (millisecond chronons)
+
+CONNECTIONS = Source("conn", ["src"])
+ALERTS = Source("alert", ["src"])
+DENIES = Source("deny", ["src"])
+
+
+def initial_plan():
+    """(conn ⋈ alert) ⋈ deny — chosen when alerts were rare."""
+    return JoinNode(
+        JoinNode(CONNECTIONS, ALERTS,
+                 Comparison("=", Field("conn.src"), Field("alert.src"))),
+        DENIES,
+        Comparison("=", Field("alert.src"), Field("deny.src")),
+    )
+
+
+def make_streams(seed=23):
+    """Alerts are sparse for 5 s, then burst to 4x the connection rate."""
+    rng = random.Random(seed)
+    hosts = [f"10.0.0.{k}" for k in range(12)]
+    conn = [(rng.choice(hosts), t) for t in range(0, 12_000, 20)]
+    deny = [(rng.choice(hosts), t) for t in range(3, 12_000, 60)]
+    alert = [(rng.choice(hosts), t) for t in range(7, 5_000, 400)]
+    alert += [(rng.choice(hosts), t) for t in range(5_000, 12_000, 5)]
+    return {
+        "conn": timestamped_stream(conn, name="conn"),
+        "alert": timestamped_stream(alert, name="alert"),
+        "deny": timestamped_stream(deny, name="deny"),
+    }
+
+
+def run(adaptive: bool):
+    streams = make_streams()
+    windows = {name: WINDOW for name in streams}
+    # Nested-loops joins, as in the paper's experiments: probe costs scale
+    # with state sizes, which is what makes join order matter.
+    builder = PhysicalBuilder(force_nested_loops=True)
+    query = Query(initial_plan(), windows)
+    executor = QueryExecutor(streams, windows, builder.build(initial_plan()))
+    sink = CollectorSink()
+    executor.add_sink(sink)
+
+    state = {"plan": initial_plan()}
+    if adaptive:
+        optimizer = ReOptimizer(
+            builder=builder,
+            cost_model=CostModel(default_selectivity=0.05),
+            strategy_factory=GenMig,
+            improvement_threshold=0.9,
+        )
+
+        def reconsider():
+            chosen = optimizer.reoptimize(executor, query, state["plan"])
+            if chosen is not None:
+                print(f"  [t={executor.clock} ms] re-optimizer migrates to: "
+                      f"{chosen.signature()}")
+                state["plan"] = chosen
+
+        # Periodic re-optimization checks, as a DSMS would schedule them.
+        for at in range(2_000, 12_000, 2_000):
+            executor.schedule(at, reconsider)
+
+    executor.run()
+    return sink.elements, executor
+
+
+def main():
+    print("Plan installed at subscription time:")
+    print(initial_plan().pretty())
+
+    print("\n-- static run (no re-optimization) --")
+    static_out, static_executor = run(adaptive=False)
+    print(f"results: {len(static_out)}, "
+          f"cost: {static_executor.meter.total:,} units")
+
+    print("\n-- adaptive run (re-optimizer + GenMig) --")
+    adaptive_out, adaptive_executor = run(adaptive=True)
+    print(f"results: {len(adaptive_out)}, "
+          f"cost: {adaptive_executor.meter.total:,} units")
+    for report in adaptive_executor.migration_log:
+        print(f"  migration: {report.strategy}, T_split={report.t_split}, "
+              f"duration={report.duration} ms")
+
+    equivalent = first_divergence(static_out, adaptive_out) is None
+    saved = 1 - adaptive_executor.meter.total / static_executor.meter.total
+    print(f"\nsnapshot-equivalent outputs: {equivalent}")
+    print(f"processing cost saved by adapting: {saved:.1%}")
+
+
+if __name__ == "__main__":
+    main()

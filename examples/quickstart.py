@@ -1,0 +1,90 @@
+"""Quickstart: run a CQL continuous query and migrate its plan mid-stream.
+
+Demonstrates the full public API path:
+
+    CQL text -> logical plan -> physical box -> executor -> GenMig migration
+
+Run with:  python examples/quickstart.py
+"""
+
+import random
+
+from repro import (
+    Catalog,
+    CollectorSink,
+    GenMig,
+    PhysicalBuilder,
+    QueryExecutor,
+    compile_query,
+    first_divergence,
+    timestamped_stream,
+)
+from repro.optimizer import push_down_distinct
+
+
+def make_streams(seed=7):
+    """Two market data streams: bids and sales, millisecond timestamps."""
+    rng = random.Random(seed)
+    items = ["pen", "mug", "hat", "fan"]
+    bids = timestamped_stream(
+        [((rng.choice(items), rng.randint(1, 100)), t) for t in range(0, 6000, 40)],
+        name="bids",
+    )
+    sales = timestamped_stream(
+        [((rng.choice(items), rng.randint(1, 30)), t) for t in range(10, 6000, 55)],
+        name="sales",
+    )
+    return {"b": bids, "s": sales}
+
+
+def main():
+    # 1. Declare stream schemas and compile a CQL query.
+    catalog = Catalog({"bids": ("item", "price"), "sales": ("item", "amount")})
+    query = compile_query(
+        """
+        SELECT DISTINCT b.item
+        FROM bids [RANGE 1 SECONDS] AS b, sales [RANGE 1 SECONDS] AS s
+        WHERE b.item = s.item AND b.price > 50
+        """,
+        catalog,
+    )
+    print("Initial plan:")
+    print(query.plan.pretty())
+
+    # 2. The optimizer knows an equivalent plan (Figure 2's rewrite:
+    #    duplicate elimination pushed below the join).
+    rewritten = push_down_distinct(query.plan)
+    print("\nRewritten plan (distinct pushed down):")
+    print(rewritten.pretty())
+
+    # 3. Execute, migrating to the rewritten plan at t = 3 s via GenMig.
+    builder = PhysicalBuilder()
+    streams = make_streams()
+    executor = QueryExecutor(streams, query.windows, builder.build(query.plan))
+    sink = CollectorSink()
+    executor.add_sink(sink)
+    executor.schedule_migration(3_000, builder.build(rewritten), GenMig())
+    executor.run()
+
+    report = executor.migration_log[0]
+    print(f"\nMigration: strategy={report.strategy}, T_split={report.t_split}, "
+          f"duration={report.duration} ms, "
+          f"coalesced pairs={report.extra['merged']}")
+    print(f"Results delivered: {len(sink.elements)}; "
+          f"ordering violations: {executor.gate.order_violations}")
+
+    # 4. Verify: the migrated run is snapshot-equivalent to never migrating.
+    reference = QueryExecutor(make_streams(), query.windows, builder.build(query.plan))
+    reference_sink = CollectorSink()
+    reference.add_sink(reference_sink)
+    reference.run()
+    divergence = first_divergence(reference_sink.elements, sink.elements)
+    print(f"Snapshot-equivalent to the unmigrated run: {divergence is None}")
+
+    print("\nFirst few results (item, validity):")
+    for e in sink.elements[:5]:
+        print(f"  {e.payload[0]:>4s}  [{e.start}, {e.end})")
+
+
+if __name__ == "__main__":
+    main()

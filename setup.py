@@ -1,0 +1,9 @@
+"""Legacy shim so ``pip install -e .`` works without the wheel package.
+
+All real project metadata lives in pyproject.toml; this file only enables
+the fallback editable-install path on environments lacking ``wheel``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,184 @@
+"""GenMig: the paper's general dynamic plan migration strategy (Section 4).
+
+Lifecycle (Algorithm 1), realised over the executor's event loop:
+
+1. **Monitoring** — wait until every input has delivered at least one
+   element, keeping the most recent start timestamp ``t_Si`` per input
+   (Remark 2: a per-input migration start makes GenMig independent of
+   globally ordered scheduling).
+2. **Arming** — compute ``T_split``, splice a :class:`~repro.core.split.
+   Split` behind every input router and a :class:`~repro.core.coalesce.
+   Coalesce` on top of both boxes, then let both plans run in parallel.
+   ``T_split = max(t_Si) + w + b - EPSILON`` where ``w`` is the global
+   window constraint and ``b`` bounds raw input interval lengths (1 chronon
+   for ordinary timestamped inputs) — strictly greater than every time
+   instant the old box can ever reference, yet below the first instant only
+   the new box covers (Lemma 1, point 6, together with Remark 3).
+3. **Parallel phase** — the split routes validity below ``T_split`` to the
+   old box and the rest to the new box; coalesce merges the outputs.
+4. **Completion** — once every input's watermark reaches ``T_split`` the
+   splits have already signalled end-of-stream to the old box (draining
+   it); the strategy tears down split, coalesce and the old box and
+   connects the new box directly.
+
+Correctness rests only on the two boxes being snapshot-equivalent black
+boxes; no operator knowledge is required.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..engine.box import Box
+from ..temporal.time import EPSILON, MAX_TIME, Time
+from .coalesce import Coalesce
+from .split import Split
+from .strategy import MigrationReport, MigrationStrategy
+
+
+class GenMig(MigrationStrategy):
+    """The general black-box migration strategy, coalesce variant."""
+
+    name = "genmig"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._phase = "idle"
+        self._triggered_at: Time = 0
+        self._started_at: Time = 0
+        self.t_split: Optional[Time] = None
+        self.old_box: Optional[Box] = None
+        self.new_box: Optional[Box] = None
+        self.coalesce: Optional[Coalesce] = None
+        self.splits: Dict[str, Split] = {}
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def begin(self, executor, new_box: Box) -> None:
+        self._triggered_at = executor.clock
+        self.old_box = executor.box
+        self.new_box = new_box
+        self._phase = "monitor"
+        self._try_arm(executor)
+
+    def after_event(self, executor) -> None:
+        if self._phase == "monitor":
+            self._try_arm(executor)
+        if self._phase == "parallel":
+            self._try_complete(executor)
+
+    def state_value_count(self) -> int:
+        total = 0
+        if self._phase == "parallel":
+            if self.new_box is not None:
+                total += self.new_box.state_value_count()
+            if self.coalesce is not None:
+                total += self.coalesce.state_value_count()
+        return total
+
+    # ------------------------------------------------------------------ #
+    # Arming
+    # ------------------------------------------------------------------ #
+
+    def _try_arm(self, executor) -> None:
+        if not all(executor.source_seen.values()) and not executor.at_end_of_stream:
+            # Algorithm 1 monitors until t_Si is set for every input; a
+            # source that stays silent to the end of the stream can never
+            # contribute old-box state, so end-of-stream arms regardless.
+            return
+        self._started_at = executor.clock
+        self.t_split = self._compute_t_split(executor)
+        self._install(executor)
+        self._phase = "parallel"
+
+    def _compute_t_split(self, executor) -> Time:
+        """The standard split time (Algorithm 1, line 5; see module doc)."""
+        latest = max(
+            (wm for name, wm in executor.source_watermarks.items()
+             if executor.source_seen[name]),
+            default=0,
+        )
+        return latest + executor.global_window + executor.interval_bound - EPSILON
+
+    def _make_split(self, name: str) -> Split:
+        return Split(self.t_split, name=f"split[{name}]")
+
+    def _install(self, executor) -> None:
+        """Insert split and coalesce operators (Algorithm 1, lines 6-8)."""
+        old_box, new_box = self.old_box, self.new_box
+        self.coalesce = Coalesce(self.t_split)
+        self.coalesce.meter = executor.meter
+        for source, router in executor.routers.items():
+            split = self._make_split(source)
+            split.meter = executor.meter
+            for operator, port in old_box.taps.get(source, []):
+                split.connect_old(operator, port)
+            for operator, port in new_box.taps.get(source, []):
+                split.connect_new(operator, port)
+            router.retarget([(split, 0)])
+            self.splits[source] = split
+        old_box.root.detach_sink(executor.gate)
+        old_box.root.subscribe(self.coalesce, 0)
+        new_box.root.subscribe(self.coalesce, 1)
+        self.coalesce.attach_sink(executor.gate)
+
+    # ------------------------------------------------------------------ #
+    # Completion
+    # ------------------------------------------------------------------ #
+
+    def _try_complete(self, executor) -> None:
+        assert self.t_split is not None
+        done = min(executor.source_watermarks.values()) >= self.t_split
+        if not done and not executor.at_end_of_stream:
+            return
+        if not done:
+            # The streams ended first: drain the old side explicitly (the
+            # end-of-stream heartbeats already flowed through the splits).
+            pass
+        # All inputs have passed T_split: the splits have already sent
+        # end-of-stream heartbeats down the old side, draining the old box
+        # and flushing coalesce via watermarks.  Tear everything down.
+        self.coalesce.flush_tables()
+        self.old_box.root.unsubscribe(self.coalesce, 0)
+        self.new_box.root.unsubscribe(self.coalesce, 1)
+        self.coalesce.detach_sink(executor.gate)
+        self.old_box.sever()
+        executor._install_box(self.new_box)
+        self._phase = "done"
+        self.finished = True
+        self._report = MigrationReport(
+            strategy=self.name,
+            triggered_at=self._triggered_at,
+            started_at=self._started_at,
+            completed_at=executor.clock,
+            t_split=self.t_split,
+            extra={
+                "merged": self.coalesce.merged_count,
+                "order_violations": executor.gate.order_violations,
+            },
+        )
+
+
+class ShortenedGenMig(GenMig):
+    """GenMig with Optimization 2: shorten the migration duration.
+
+    In addition to the start timestamps, the *end* timestamps of the input
+    streams are monitored (the executor provides them as metadata); the
+    maximum end timestamp ever seen bounds every time instant the old box
+    can reference, so ``T_split`` may be set just below it.  The gain is
+    significant when the migrated box consumes intermediate streams whose
+    intervals are much shorter than the window (the paper: "if the plan to
+    be optimized is not close to window operators"); for a box fed directly
+    by window operators the two choices coincide.
+    """
+
+    name = "genmig-short"
+
+    def _compute_t_split(self, executor) -> Time:
+        # Time instants lie strictly below an (integer) end timestamp, so
+        # subtracting EPSILON stays above every instant in the old box.
+        max_end = max(executor.source_max_ends.values())
+        standard = GenMig._compute_t_split(self, executor)
+        return min(standard, max_end - EPSILON)

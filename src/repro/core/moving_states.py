@@ -1,0 +1,183 @@
+"""The Moving States (MS) baseline of Zhu, Rundensteiner & Heineman (2004).
+
+MS computes the state of the new plan *directly* from the state of the old
+plan at migration start, then discards the old plan — there is no parallel
+phase.  The GenMig paper keeps it as context: MS "requires a detailed
+knowledge about the operator implementations because it needs to access and
+modify state information" (Section 1), which is exactly what this module
+does and exactly what the black-box GenMig avoids.
+
+Scope: reordering trees of sliding-window joins (optionally with stateless
+selection/projection between them) — the case MS was designed for:
+
+1. drain the old box's in-flight (staged) results, so everything the old
+   plan owes for the already-arrived elements is delivered;
+2. extract the alive base elements of every input from the old box's leaf
+   join states;
+3. for every join of the new plan, *compute* its two input states as the
+   temporal join of the states feeding them, bottom-up — state content
+   only, no operator execution, hence no output to deduplicate;
+4. install the computed states and switch the routers over.
+
+The migration is instantaneous in application time; its price is the burst
+of seeding work in step 3, visible on the cost meter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..engine.box import Box
+from ..operators.base import Operator
+from ..operators.filter import Select
+from ..operators.join import _JoinBase
+from ..operators.project import Project
+from ..temporal.element import StreamElement, as_payload
+from .strategy import MigrationReport, MigrationStrategy, UnsupportedPlanError
+
+
+class MovingStates(MigrationStrategy):
+    """State-matching migration for join-tree plans."""
+
+    name = "moving-states"
+
+    def begin(self, executor, new_box: Box) -> None:
+        old_box = executor.box
+        self._validate(old_box)
+        self._validate(new_box)
+        start_clock = executor.clock
+        cost_before = executor.meter.total
+
+        # Step 1: drain in-flight results of the old box.  Results staged in
+        # internal output heaps have not reached downstream states (or the
+        # gate) yet; flushing delivers them exactly as continued execution
+        # would have.  The box is discarded right after, so the premature
+        # flush cannot interleave with later arrivals.
+        for _ in range(len(old_box.operators)):
+            for operator in old_box.operators:
+                operator.flush()
+
+        # Step 2: alive base elements per input, from the leaf join states.
+        alive: Dict[str, List[StreamElement]] = {}
+        for source, ports in old_box.taps.items():
+            elements: List[StreamElement] = []
+            for operator, port in ports:
+                if not isinstance(operator, _JoinBase):
+                    raise UnsupportedPlanError(
+                        f"Moving States requires join entry points, found "
+                        f"{type(operator).__name__} at input {source!r}"
+                    )
+                elements.extend(operator.state_of_port(port))
+            alive[source] = elements
+
+        # Step 3 + 4: compute and install every new-plan state bottom-up.
+        seeder = _StateSeeder(new_box, alive, executor.meter)
+        seeded = seeder.seed()
+
+        old_box.sever()
+        executor._install_box(new_box)
+        self.finished = True
+        self._report = MigrationReport(
+            strategy=self.name,
+            triggered_at=start_clock,
+            started_at=start_clock,
+            completed_at=executor.clock,
+            t_split=None,
+            extra={
+                "seeded_elements": seeded,
+                "seeding_cost": executor.meter.total - cost_before,
+            },
+        )
+
+    def _validate(self, box: Box) -> None:
+        for operator in box.operators:
+            if isinstance(operator, (_JoinBase, Select, Project)):
+                continue
+            raise UnsupportedPlanError(
+                f"Moving States only supports join trees (with stateless "
+                f"operators); found {type(operator).__name__}"
+            )
+
+    def after_event(self, executor) -> None:
+        """MS completes inside :meth:`begin`; nothing to advance."""
+
+
+class _StateSeeder:
+    """Bottom-up state computation over a join-tree box."""
+
+    def __init__(self, box: Box, alive: Dict[str, List[StreamElement]], meter) -> None:
+        self._box = box
+        self._alive = alive
+        self._meter = meter
+        # Who feeds each (operator, port): an upstream operator...
+        self._feeding_op: Dict[Tuple[int, int], Operator] = {}
+        for operator in box.operators:
+            for downstream, port in operator.subscribers:
+                self._feeding_op[(id(downstream), port)] = operator
+        # ... or a named input.
+        self._feeding_source: Dict[Tuple[int, int], str] = {}
+        for source, ports in box.taps.items():
+            for operator, port in ports:
+                self._feeding_source[(id(operator), port)] = source
+        self._memo: Dict[int, List[StreamElement]] = {}
+
+    def seed(self) -> int:
+        """Install the computed state into every join; return element count."""
+        seeded = 0
+        for operator in self._box.operators:
+            if not isinstance(operator, _JoinBase):
+                continue
+            for port in (0, 1):
+                state = self._input_stream(operator, port)
+                operator.seed_state(port, state)
+                seeded += len(state)
+        return seeded
+
+    def _input_stream(self, operator: Operator, port: int) -> List[StreamElement]:
+        """The alive elements of the stream feeding ``(operator, port)``."""
+        source = self._feeding_source.get((id(operator), port))
+        if source is not None:
+            return list(self._alive[source])
+        upstream = self._feeding_op.get((id(operator), port))
+        if upstream is None:
+            raise UnsupportedPlanError(
+                f"{operator.name} port {port} has no feeding stream"
+            )
+        return self._output_stream(upstream)
+
+    def _output_stream(self, operator: Operator) -> List[StreamElement]:
+        """The alive elements ``operator`` would hold downstream."""
+        cached = self._memo.get(id(operator))
+        if cached is not None:
+            return cached
+        if isinstance(operator, _JoinBase):
+            result = self._join(operator)
+        elif isinstance(operator, Select):
+            child = self._input_stream(operator, 0)
+            self._meter.charge(len(child) * operator.cost, "ms-seed")
+            result = [e for e in child if operator.predicate(e.payload)]
+        elif isinstance(operator, Project):
+            child = self._input_stream(operator, 0)
+            self._meter.charge(len(child), "ms-seed")
+            result = [e.with_payload(as_payload(operator.mapping(e.payload))) for e in child]
+        else:  # pragma: no cover - _validate rejects other operators
+            raise UnsupportedPlanError(f"cannot seed through {type(operator).__name__}")
+        self._memo[id(operator)] = result
+        return result
+
+    def _join(self, operator: _JoinBase) -> List[StreamElement]:
+        lefts = self._input_stream(operator, 0)
+        rights = self._input_stream(operator, 1)
+        results: List[StreamElement] = []
+        for left in lefts:
+            for right in rights:
+                self._meter.charge(operator.predicate_cost, "ms-seed")
+                if not operator.pair_matches(left.payload, right.payload):
+                    continue
+                overlap = left.interval.intersect(right.interval)
+                if overlap is None:
+                    continue
+                results.append(
+                    StreamElement(operator.combiner(left.payload, right.payload), overlap)
+                )
+        return results

@@ -1,0 +1,165 @@
+"""GenMig with the reference-point optimization (Section 4.5, Opt. 1).
+
+The reference-point method [Seeger 1991; van den Bercken & Seeger 1996]
+avoids output duplicates without coalescing:
+
+* the split sends elements to the *old* box **unsplit** (full validity) —
+  only elements with a start timestamp below ``T_split``;
+* the coalesce operator is replaced by a selection on top of the new box
+  that drops every result whose start timestamp (the reference point)
+  equals ``T_split``, plus a plain concatenation of the two outputs —
+  first everything the old box produces, then the new box's results;
+* no synchronisation buffer is needed: all old-box results start below
+  ``T_split``, all surviving new-box results at or above it.
+
+This saves the memory and CPU of the coalesce operator (Figure 6 shows the
+gain), but it is sound only for *start-preserving* plans: every result's
+start timestamp must equal the start of some contributing input element —
+true for selection, projection, union and joins (the paper's experiments),
+but not for duplicate elimination, aggregation or difference, whose results
+can start mid-interval.  For such plans the strategy refuses to run unless
+``force=True`` (useful to demonstrate the failure mode in tests); use plain
+:class:`~repro.core.genmig.GenMig` instead — it has no such restriction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..engine.box import Box
+from ..operators.base import Operator
+from ..operators.filter import Select
+from ..operators.join import _JoinBase
+from ..operators.project import Project
+from ..operators.union import Union
+from ..temporal.element import StreamElement
+from ..temporal.time import Time
+from .genmig import GenMig
+from .split import ReferencePointSplit, Split
+from .strategy import UnsupportedPlanError
+
+#: Operators whose results always start at a contributing input's start.
+_START_PRESERVING = (_JoinBase, Select, Project, Union)
+
+
+class _ReferencePointFilter:
+    """Selection on the new box output: drop results starting at T_split."""
+
+    def __init__(self, gate, t_split: Time) -> None:
+        self._gate = gate
+        self.t_split = t_split
+        self.dropped = 0
+
+    def process(self, element: StreamElement, port: int = 0) -> None:
+        if element.start == self.t_split:
+            self.dropped += 1
+            return
+        self._gate.process(element)
+
+    def process_heartbeat(self, t: Time, port: int = 0) -> None:
+        self._gate.process_heartbeat(t)
+
+
+class _OldOutputMonitor:
+    """Pass-through on the old box output that audits the RP precondition.
+
+    A start-preserving old box never produces a result starting at or after
+    ``T_split``; the monitor counts violations (each one is a potential
+    duplicated snapshot) so tests can demonstrate why the optimization is
+    restricted.
+    """
+
+    def __init__(self, gate, t_split: Time) -> None:
+        self._gate = gate
+        self.t_split = t_split
+        self.violations = 0
+
+    def process(self, element: StreamElement, port: int = 0) -> None:
+        if element.start >= self.t_split:
+            self.violations += 1
+        self._gate.process(element)
+
+    def process_heartbeat(self, t: Time, port: int = 0) -> None:
+        self._gate.process_heartbeat(t)
+
+
+class ReferencePointGenMig(GenMig):
+    """GenMig variant using the reference-point method instead of coalesce."""
+
+    name = "genmig-rp"
+
+    def __init__(self, force: bool = False) -> None:
+        super().__init__()
+        self.force = force
+        self._filter: Optional[_ReferencePointFilter] = None
+        self._monitor: Optional[_OldOutputMonitor] = None
+
+    # ------------------------------------------------------------------ #
+    # Overridden plumbing
+    # ------------------------------------------------------------------ #
+
+    def _make_split(self, name: str) -> Split:
+        return ReferencePointSplit(self.t_split, name=f"rp-split[{name}]")
+
+    def _install(self, executor) -> None:
+        self._validate(self.old_box)
+        self._validate(self.new_box)
+        old_box, new_box = self.old_box, self.new_box
+        for source, router in executor.routers.items():
+            split = self._make_split(source)
+            split.meter = executor.meter
+            for operator, port in old_box.taps.get(source, []):
+                split.connect_old(operator, port)
+            for operator, port in new_box.taps.get(source, []):
+                split.connect_new(operator, port)
+            router.retarget([(split, 0)])
+            self.splits[source] = split
+        self._monitor = _OldOutputMonitor(executor.gate, self.t_split)
+        old_box.root.detach_sink(executor.gate)
+        old_box.root.attach_sink(self._monitor)
+        self._filter = _ReferencePointFilter(executor.gate, self.t_split)
+        new_box.root.attach_sink(self._filter)
+
+    def _validate(self, box: Box) -> None:
+        if self.force:
+            return
+        for operator in box.operators:
+            stateless = not getattr(operator, "_ordered_output", False)
+            if stateless or isinstance(operator, _START_PRESERVING):
+                continue
+            raise UnsupportedPlanError(
+                f"the reference-point optimization requires start-preserving "
+                f"operators; {type(operator).__name__} is not — use GenMig "
+                f"with coalesce, or force=True to demonstrate the failure"
+            )
+
+    def _try_complete(self, executor) -> None:
+        assert self.t_split is not None
+        done = min(executor.source_watermarks.values()) >= self.t_split
+        if not done and not executor.at_end_of_stream:
+            return
+        self.old_box.root.detach_sink(self._monitor)
+        self.new_box.root.detach_sink(self._filter)
+        self.old_box.sever()
+        executor._install_box(self.new_box)
+        self._phase = "done"
+        self.finished = True
+        from .strategy import MigrationReport
+
+        self._report = MigrationReport(
+            strategy=self.name,
+            triggered_at=self._triggered_at,
+            started_at=self._started_at,
+            completed_at=executor.clock,
+            t_split=self.t_split,
+            extra={
+                "dropped_at_split": self._filter.dropped,
+                "old_start_violations": self._monitor.violations,
+                "order_violations": executor.gate.order_violations,
+            },
+        )
+
+    def state_value_count(self) -> int:
+        if self._phase == "parallel" and self.new_box is not None:
+            return self.new_box.state_value_count()
+        return 0

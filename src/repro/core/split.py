@@ -1,0 +1,126 @@
+"""The Split operator (Algorithm 2 of the paper).
+
+A stateless operator inserted downstream of each input during a GenMig
+migration.  It partitions every element's validity interval at the split
+time ``T_split``: the part below ``T_split`` feeds the old box, the rest
+the new box.  Because ``T_split`` is chosen at sub-chronon granularity
+(Remark 3), it never coincides with a start or end timestamp, so the
+partition is always clean.
+
+Beyond Algorithm 2's element routing, the implementation also forwards
+*watermark promises* to both sides:
+
+* the old side processes raw start timestamps ``< T_split`` only, so its
+  watermark follows the raw input — and jumps to end-of-stream the moment
+  the input passes ``T_split``, which is exactly the "signal the end of all
+  input streams to the old plan" step of Algorithm 1 (line 11), realised
+  per input;
+* every element sent to the new side starts at or after ``T_split``, so the
+  new side can be promised ``T_split`` immediately.  This is what lets the
+  new box release its results *during* the migration instead of buffering
+  them — the smooth-output property GenMig has and Parallel Track lacks.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from ..engine.box import InputPort
+from ..operators.base import Operator
+from ..temporal.element import StreamElement
+from ..temporal.time import MAX_TIME, MIN_TIME, Time
+
+
+def _covers_instants(interval) -> bool:
+    """Whether a (possibly fractional) interval contains any time instant.
+
+    The time domain is discrete; a fragment like ``[T_split, T_split + 1/2)``
+    covers no integer instant and can be dropped without changing any
+    snapshot — this keeps sub-chronon slivers out of the boxes.
+    """
+    if interval is None:
+        return False
+    return math.ceil(interval.start) < interval.end
+
+
+class Split(Operator):
+    """Route each input element's sub-``T_split`` part old, the rest new."""
+
+    def __init__(self, t_split: Time, name: str = "") -> None:
+        super().__init__(arity=1, name=name or f"split[{t_split}]", ordered_output=False)
+        self.t_split = t_split
+        self._old_targets: List[InputPort] = []
+        self._new_targets: List[InputPort] = []
+        self._old_watermark: Time = MIN_TIME
+        self._new_watermark: Time = MIN_TIME
+
+    # ------------------------------------------------------------------ #
+    # Wiring
+    # ------------------------------------------------------------------ #
+
+    def connect_old(self, operator, port: int = 0) -> None:
+        """Feed the old box through ``(operator, port)``."""
+        self._old_targets.append((operator, port))
+
+    def connect_new(self, operator, port: int = 0) -> None:
+        """Feed the new box through ``(operator, port)``."""
+        self._new_targets.append((operator, port))
+
+    # ------------------------------------------------------------------ #
+    # Input protocol (replaces the base implementation: two output sides)
+    # ------------------------------------------------------------------ #
+
+    def process(self, element: StreamElement, port: int = 0) -> None:
+        self.meter.charge(1, "split")
+        old_part, new_part = self._route(element)
+        if old_part is not None:
+            for operator, target_port in self._old_targets:
+                operator.process(old_part, target_port)
+        if new_part is not None:
+            for operator, target_port in self._new_targets:
+                operator.process(new_part, target_port)
+        self._forward_watermarks(element.start)
+
+    def process_heartbeat(self, t: Time, port: int = 0) -> None:
+        self._forward_watermarks(t)
+
+    def _route(self, element: StreamElement):
+        """Algorithm 2: split the validity interval at ``T_split``."""
+        below, above = element.interval.split_at(self.t_split)
+        old_part = element.with_interval(below) if _covers_instants(below) else None
+        new_part = element.with_interval(above) if _covers_instants(above) else None
+        return old_part, new_part
+
+    def _forward_watermarks(self, raw: Time) -> None:
+        """Translate raw input progress into per-side promises."""
+        if raw < self.t_split:
+            old_promise: Time = raw
+            new_promise: Time = self.t_split
+        else:
+            old_promise = MAX_TIME
+            new_promise = raw
+        if old_promise > self._old_watermark:
+            self._old_watermark = old_promise
+            for operator, target_port in self._old_targets:
+                operator.process_heartbeat(min(old_promise, MAX_TIME), target_port)
+        if new_promise > self._new_watermark:
+            self._new_watermark = new_promise
+            for operator, target_port in self._new_targets:
+                operator.process_heartbeat(min(new_promise, MAX_TIME), target_port)
+
+
+class ReferencePointSplit(Split):
+    """Split variant for the reference-point optimization (Section 4.5).
+
+    The old box receives elements *unsplit* (full validity) as long as their
+    start timestamp lies below ``T_split``; the new box receives the part at
+    or above ``T_split`` exactly as in the standard split.  Duplicate
+    suppression then happens at the output via the reference-point rule.
+    """
+
+    def _route(self, element: StreamElement):
+        below, above = element.interval.split_at(self.t_split)
+        old_part = element if element.start < self.t_split else None
+        new_part = element.with_interval(above) if _covers_instants(above) else None
+        return old_part, new_part

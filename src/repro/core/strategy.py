@@ -1,0 +1,81 @@
+"""Migration strategy interface and lifecycle report.
+
+A migration strategy is installed into a running :class:`QueryExecutor`
+via :meth:`~repro.engine.executor.QueryExecutor.start_migration`.  From
+that point the executor calls :meth:`MigrationStrategy.after_event` after
+every processed input event, letting the strategy advance its state
+machine; once :attr:`MigrationStrategy.finished` turns true the executor
+collects the :class:`MigrationReport` and releases the strategy.
+
+All strategies treat both plans as black boxes producing snapshot-
+equivalent output — they only touch the routers at the box inputs and the
+gate at its output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..temporal.time import Time
+
+
+class UnsupportedPlanError(RuntimeError):
+    """A migration strategy was asked to migrate a plan outside its scope.
+
+    Raised by the Parallel Track baseline's safeguard and by the
+    reference-point optimization when the plan contains operators that are
+    not start-preserving.  GenMig with coalesce never raises this — it is
+    the general strategy.
+    """
+
+
+@dataclass
+class MigrationReport:
+    """What happened during one migration."""
+
+    strategy: str
+    triggered_at: Time
+    started_at: Time
+    completed_at: Time
+    t_split: Optional[Time] = None
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> Time:
+        """Migration duration in application time (start of parallel phase
+        to completion)."""
+        return self.completed_at - self.started_at
+
+    @property
+    def total_duration(self) -> Time:
+        """Trigger-to-completion duration, including any monitoring phase."""
+        return self.completed_at - self.triggered_at
+
+
+class MigrationStrategy:
+    """Base class: lifecycle scaffolding shared by all strategies."""
+
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self.finished = False
+        self._report: Optional[MigrationReport] = None
+
+    def begin(self, executor, new_box) -> None:
+        """Install the strategy into a running executor."""
+        raise NotImplementedError
+
+    def after_event(self, executor) -> None:
+        """Advance the migration state machine after one input event."""
+        raise NotImplementedError
+
+    def state_value_count(self) -> int:
+        """Payload values held by migration-owned state (new box, buffers)."""
+        return 0
+
+    def report(self) -> MigrationReport:
+        """The completed migration's report."""
+        if self._report is None:
+            raise RuntimeError(f"{self.name}: migration has not completed")
+        return self._report

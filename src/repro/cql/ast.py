@@ -1,0 +1,101 @@
+"""Abstract syntax tree of the CQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A possibly qualified column reference: ``x`` or ``s.x``."""
+
+    qualifier: Optional[str]
+    name: str
+
+    def __str__(self) -> str:
+        return f"{self.qualifier}.{self.name}" if self.qualifier else self.name
+
+
+@dataclass(frozen=True)
+class NumberLiteral:
+    """An integer or float literal."""
+
+    value: Union[int, float]
+
+
+@dataclass(frozen=True)
+class StringLiteral:
+    """A string literal."""
+
+    value: str
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    """A binary operator application (comparison, arithmetic, AND/OR)."""
+
+    op: str
+    left: "ExprAST"
+    right: "ExprAST"
+
+
+@dataclass(frozen=True)
+class UnaryOp:
+    """A unary operator application (NOT, unary minus)."""
+
+    op: str
+    operand: "ExprAST"
+
+
+@dataclass(frozen=True)
+class AggregateCall:
+    """An aggregate function call: ``COUNT(*)``, ``SUM(s.x)``, ..."""
+
+    function: str  # lowercase: count/sum/avg/min/max
+    argument: Optional[ColumnRef]  # None means '*'
+
+
+ExprAST = Union[ColumnRef, NumberLiteral, StringLiteral, BinaryOp, UnaryOp, AggregateCall]
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """A window clause on a stream reference."""
+
+    kind: str  # "range", "now", "unbounded", "rows"
+    size: int = 0  # time units for range (already unit-scaled), rows count
+
+
+@dataclass(frozen=True)
+class FromItem:
+    """One stream reference in the FROM clause."""
+
+    stream: str
+    window: Optional[WindowSpec]
+    alias: Optional[str]
+
+    @property
+    def binding(self) -> str:
+        """The name this stream is visible as in the query."""
+        return self.alias or self.stream
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One SELECT-list entry with an optional output alias."""
+
+    expression: ExprAST
+    alias: Optional[str]
+
+
+@dataclass
+class SelectStatement:
+    """A full parsed query."""
+
+    distinct: bool
+    items: Optional[List[SelectItem]]  # None means '*'
+    from_items: List[FromItem] = field(default_factory=list)
+    where: Optional[ExprAST] = None
+    group_by: List[ColumnRef] = field(default_factory=list)
+    having: Optional[ExprAST] = None

@@ -1,0 +1,118 @@
+"""Tokenizer for the CQL subset.
+
+CQL [Arasu, Babu & Widom 2003] extends SQL with window specifications on
+stream references.  The lexer is a straightforward single-pass scanner
+producing a flat token list for the recursive-descent parser.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+KEYWORDS = {
+    "SELECT",
+    "DISTINCT",
+    "FROM",
+    "WHERE",
+    "GROUP",
+    "BY",
+    "HAVING",
+    "AS",
+    "AND",
+    "OR",
+    "NOT",
+    "RANGE",
+    "ROWS",
+    "NOW",
+    "UNBOUNDED",
+    "MILLISECONDS",
+    "SECONDS",
+    "MINUTES",
+    "HOURS",
+    "COUNT",
+    "SUM",
+    "AVG",
+    "MIN",
+    "MAX",
+}
+
+SYMBOLS = ("<=", ">=", "!=", "<>", "=", "<", ">", "(", ")", "[", "]", ",", ".", "*", "+", "-", "/", "%")
+
+
+class CQLSyntaxError(ValueError):
+    """Raised on malformed CQL input, with position information."""
+
+    def __init__(self, message: str, position: int, text: str) -> None:
+        line = text.count("\n", 0, position) + 1
+        column = position - (text.rfind("\n", 0, position) + 1) + 1
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.position = position
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token."""
+
+    kind: str  # KEYWORD, IDENT, NUMBER, STRING, SYMBOL, EOF
+    value: str
+    position: int
+
+    def matches(self, kind: str, value: str = "") -> bool:
+        if self.kind != kind:
+            return False
+        return not value or self.value == value
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize a CQL statement."""
+    tokens: List[Token] = []
+    index = 0
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char.isspace():
+            index += 1
+            continue
+        if text.startswith("--", index):
+            newline = text.find("\n", index)
+            index = length if newline < 0 else newline + 1
+            continue
+        if char.isdigit() or (char == "." and index + 1 < length and text[index + 1].isdigit()):
+            start = index
+            seen_dot = False
+            while index < length and (text[index].isdigit() or (text[index] == "." and not seen_dot)):
+                if text[index] == ".":
+                    # A trailing dot is a qualifier, not a decimal point.
+                    if index + 1 >= length or not text[index + 1].isdigit():
+                        break
+                    seen_dot = True
+                index += 1
+            tokens.append(Token("NUMBER", text[start:index], start))
+            continue
+        if char.isalpha() or char == "_":
+            start = index
+            while index < length and (text[index].isalnum() or text[index] == "_"):
+                index += 1
+            word = text[start:index]
+            if word.upper() in KEYWORDS:
+                tokens.append(Token("KEYWORD", word.upper(), start))
+            else:
+                tokens.append(Token("IDENT", word, start))
+            continue
+        if char == "'":
+            end = text.find("'", index + 1)
+            if end < 0:
+                raise CQLSyntaxError("unterminated string literal", index, text)
+            tokens.append(Token("STRING", text[index + 1 : end], index))
+            index = end + 1
+            continue
+        for symbol in SYMBOLS:
+            if text.startswith(symbol, index):
+                tokens.append(Token("SYMBOL", "!=" if symbol == "<>" else symbol, index))
+                index += len(symbol)
+                break
+        else:
+            raise CQLSyntaxError(f"unexpected character {char!r}", index, text)
+    tokens.append(Token("EOF", "", length))
+    return tokens

@@ -1,0 +1,176 @@
+"""Render CQL ASTs back to query text, and explain compiled queries.
+
+``unparse`` produces canonical CQL text from a parsed statement — used for
+logging, for EXPLAIN output, and by the parser round-trip property tests.
+``explain`` renders a compiled query's logical plan together with the cost
+model's estimates, the closest thing a DSMS offers to ``EXPLAIN``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..engine.statistics import StatisticsCatalog
+from ..optimizer.cost import CostModel
+from ..plans.logical import LogicalPlan, Query
+from .ast import (
+    AggregateCall,
+    BinaryOp,
+    ColumnRef,
+    ExprAST,
+    FromItem,
+    NumberLiteral,
+    SelectStatement,
+    StringLiteral,
+    UnaryOp,
+    WindowSpec,
+)
+
+_PRECEDENCE = {
+    "OR": 1,
+    "AND": 2,
+    "=": 3, "!=": 3, "<": 3, "<=": 3, ">": 3, ">=": 3,
+    "+": 4, "-": 4,
+    "*": 5, "/": 5, "%": 5,
+}
+
+
+def unparse_expression(node: ExprAST, parent_precedence: int = 0) -> str:
+    """Render one expression, parenthesising only where precedence demands."""
+    if isinstance(node, ColumnRef):
+        return str(node)
+    if isinstance(node, NumberLiteral):
+        return repr(node.value)
+    if isinstance(node, StringLiteral):
+        return f"'{node.value}'"
+    if isinstance(node, AggregateCall):
+        inner = str(node.argument) if node.argument is not None else "*"
+        return f"{node.function.upper()}({inner})"
+    if isinstance(node, UnaryOp):
+        if node.op == "NOT":
+            return f"NOT {unparse_expression(node.operand, _PRECEDENCE['AND'])}"
+        return f"-{unparse_expression(node.operand, 6)}"
+    if isinstance(node, BinaryOp):
+        precedence = _PRECEDENCE[node.op]
+        left = unparse_expression(node.left, precedence)
+        right = unparse_expression(node.right, precedence + 1)
+        rendered = f"{left} {node.op} {right}"
+        if precedence < parent_precedence:
+            return f"({rendered})"
+        return rendered
+    raise TypeError(f"cannot unparse {type(node).__name__}")
+
+
+def _unparse_window(window: Optional[WindowSpec]) -> str:
+    if window is None:
+        return ""
+    if window.kind == "now":
+        return " [NOW]"
+    if window.kind == "unbounded":
+        return " [UNBOUNDED]"
+    if window.kind == "rows":
+        return f" [ROWS {window.size}]"
+    return f" [RANGE {window.size}]"
+
+
+def _unparse_from_item(item: FromItem) -> str:
+    rendered = item.stream + _unparse_window(item.window)
+    if item.alias:
+        rendered += f" AS {item.alias}"
+    return rendered
+
+
+def unparse(statement: SelectStatement) -> str:
+    """Render a statement as canonical CQL text.
+
+    Window sizes are printed in chronons (no unit keyword), so parsing the
+    result with any ``time_scale`` reproduces the same statement.
+    """
+    parts = ["SELECT"]
+    if statement.distinct:
+        parts.append("DISTINCT")
+    if statement.items is None:
+        parts.append("*")
+    else:
+        parts.append(
+            ", ".join(
+                unparse_expression(item.expression)
+                + (f" AS {item.alias}" if item.alias else "")
+                for item in statement.items
+            )
+        )
+    parts.append("FROM")
+    parts.append(", ".join(_unparse_from_item(item) for item in statement.from_items))
+    if statement.where is not None:
+        parts.append("WHERE")
+        parts.append(unparse_expression(statement.where))
+    if statement.group_by:
+        parts.append("GROUP BY")
+        parts.append(", ".join(str(column) for column in statement.group_by))
+    if statement.having is not None:
+        parts.append("HAVING")
+        parts.append(unparse_expression(statement.having))
+    return " ".join(parts)
+
+
+def explain(
+    query: Query,
+    statistics: Optional[StatisticsCatalog] = None,
+    cost_model: Optional[CostModel] = None,
+) -> str:
+    """Render a compiled query: windows, plan tree, per-node estimates."""
+    cost_model = cost_model or CostModel()
+    statistics = statistics or StatisticsCatalog()
+    lines = ["windows:"]
+    for source, window in sorted(query.windows.items()):
+        lines.append(f"  {source}: RANGE {window}")
+    lines.append("plan:")
+
+    def render(node: LogicalPlan, indent: int) -> None:
+        estimate = cost_model.estimate(query, node, statistics)
+        lines.append(
+            "  " * (indent + 1)
+            + f"{_shallow_label(node)}   "
+            + f"[rate={estimate.rate:.4f}/u state={estimate.state:.1f} "
+            + f"cost={estimate.cost:.2f}/u]"
+        )
+        for child in node.children:
+            render(child, indent + 1)
+
+    render(query.plan, 0)
+    return "\n".join(lines)
+
+
+def _shallow_label(node: LogicalPlan) -> str:
+    """One-line label of a node without rendering its whole subtree."""
+    from ..plans.logical import (
+        AggregateNode,
+        DifferenceNode,
+        DistinctNode,
+        JoinNode,
+        ProjectNode,
+        SelectNode,
+        Source,
+        UnionNode,
+    )
+
+    if isinstance(node, Source):
+        return node.name
+    if isinstance(node, SelectNode):
+        return f"select[{node.predicate!r}]"
+    if isinstance(node, ProjectNode):
+        return f"project[{', '.join(node.schema)}]"
+    if isinstance(node, JoinNode):
+        condition = repr(node.condition) if node.condition is not None else "true"
+        return f"join[{condition}]"
+    if isinstance(node, DistinctNode):
+        return "distinct"
+    if isinstance(node, AggregateNode):
+        aggregates = ", ".join(spec.output_name() for spec in node.aggregates)
+        group = f" by {list(node.group_by)}" if node.group_by else ""
+        return f"aggregate[{aggregates}{group}]"
+    if isinstance(node, UnionNode):
+        return "union"
+    if isinstance(node, DifferenceNode):
+        return "difference"
+    return type(node).__name__

@@ -1,0 +1,309 @@
+"""The query executor: event loop, migration lifecycle, instrumentation.
+
+The executor owns one continuous query: its named input streams, the
+per-source window operators (shared by every plan version, see
+``engine.box``), the currently installed box, and the output gate.  It
+replays the finite input streams in the order chosen by a scheduler, drives
+watermarks/heartbeats, fires scheduled actions (such as "start migrating at
+t = 20 s"), and hands control to an installed migration strategy after
+every event so the strategy can advance its state machine.
+
+Time is *application time* throughout: the executor is a deterministic
+simulator, matching the paper's sufficient-system-resources assumption
+under which application and system time coincide (Section 4.4).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..operators.base import NULL_METER, CostMeter, Operator
+from ..operators.window import TimeWindow
+from ..streams.stream import PhysicalStream
+from ..temporal.time import MAX_TIME, MIN_TIME, Time
+from .box import Box, OutputGate, Router
+from .metrics import MetricsRecorder
+from .queues import SourceQueue
+from .scheduler import GlobalOrderScheduler, Scheduler
+from .statistics import StatisticsCatalog
+
+
+class MigrationError(RuntimeError):
+    """Raised on invalid migration lifecycle transitions."""
+
+
+class QueryExecutor:
+    """Runs one continuous query over finite input streams.
+
+    Args:
+        sources: named raw input streams (unit-interval elements).
+        windows: per-source time window sizes, applied at ingestion.
+        box: the initial physical plan over the windowed inputs.
+        scheduler: ingestion order policy; default global temporal order.
+        meter: cost meter shared by all operators; created if omitted.
+        metrics: optional recorder for the Figure 4-6 series.
+        global_heartbeats: propagate each ingested timestamp to all inputs
+            as a heartbeat.  Sound only under the global-order scheduler and
+            enabled by default exactly then.
+        interval_bound: finite bound on raw input interval lengths; 1 for
+            ordinary timestamped inputs (the Section 2.2 conversion), larger
+            when a pre-windowed intermediate stream is fed in directly.
+    """
+
+    def __init__(
+        self,
+        sources: Dict[str, PhysicalStream],
+        windows: Dict[str, Time],
+        box: Box,
+        scheduler: Optional[Scheduler] = None,
+        meter: Optional[CostMeter] = None,
+        metrics: Optional[MetricsRecorder] = None,
+        global_heartbeats: Optional[bool] = None,
+        interval_bound: Time = 1,
+    ) -> None:
+        missing = set(sources) - set(windows)
+        if missing:
+            raise ValueError(f"no window size given for sources: {sorted(missing)}")
+        self.sources = dict(sources)
+        self.windows = dict(windows)
+        self.scheduler = scheduler or GlobalOrderScheduler()
+        if global_heartbeats is None:
+            global_heartbeats = isinstance(self.scheduler, GlobalOrderScheduler)
+        self.global_heartbeats = global_heartbeats
+        self.meter = meter or CostMeter()
+        self.metrics = metrics
+        if interval_bound < 1:
+            raise ValueError(f"interval_bound must be >= 1, got {interval_bound}")
+        self.interval_bound = interval_bound
+        self.statistics = StatisticsCatalog()
+
+        self.gate = OutputGate()
+        self.routers: Dict[str, Router] = {}
+        self._window_ops: Dict[str, TimeWindow] = {}
+        for name in sources:
+            router = Router(name=f"router[{name}]")
+            window_op = TimeWindow(self.windows[name], name=f"window[{name}:{self.windows[name]}]")
+            window_op.subscribe(router, 0)
+            self.routers[name] = router
+            self._window_ops[name] = window_op
+
+        self.box: Box = box
+        self._install_box(box)
+
+        self.clock: Time = MIN_TIME
+        self.source_watermarks: Dict[str, Time] = {name: MIN_TIME for name in sources}
+        self.source_max_ends: Dict[str, Time] = {name: MIN_TIME for name in sources}
+        self.source_seen: Dict[str, bool] = {name: False for name in sources}
+        self._actions: List[Tuple[Time, int, Callable[[], None]]] = []
+        self._action_sequence = 0
+        self.strategy: Optional[object] = None
+        self.migration_log: List[object] = []
+        #: Set once every input stream is exhausted; migration strategies
+        #: use it to finalise even when the usual progress conditions (all
+        #: inputs seen, watermarks past T_split) can no longer be met.
+        self.at_end_of_stream = False
+        self._finished = False
+
+        if self.metrics is not None:
+            recorder = self.metrics
+            self.gate.on_delivery = lambda element: recorder.record_output(self.clock)
+
+    # ------------------------------------------------------------------ #
+    # Topology
+    # ------------------------------------------------------------------ #
+
+    @property
+    def global_window(self) -> Time:
+        """The global window constraint ``w`` (maximum over all inputs)."""
+        return max(self.windows.values())
+
+    def _install_box(self, box: Box) -> None:
+        """Point routers and the gate at ``box`` and wire its meter."""
+        for name, router in self.routers.items():
+            router.retarget(box.taps.get(name, []))
+        box.root.clear_subscribers()
+        box.root.attach_sink(self.gate)
+        box.set_meter(self.meter)
+        self._wire_statistics(box)
+        self.box = box
+
+    def _wire_statistics(self, box: Box) -> None:
+        """Point operators' selectivity probes at the statistics catalog.
+
+        Operators carrying a ``statistics_key`` (joins compiled by the
+        physical builder) report (tested, matched) counts; the catalog
+        entry uses the same key the cost model consults, closing the
+        monitor → estimate → re-optimize loop of the paper's introduction.
+        """
+        for operator in box.operators:
+            key = getattr(operator, "statistics_key", None)
+            if key:
+                operator.selectivity_probe = self.statistics.selectivity_of(key).observe
+
+    def add_sink(self, sink: object) -> None:
+        """Attach a sink to the query output."""
+        self.gate.add_sink(sink)
+
+    # ------------------------------------------------------------------ #
+    # Scheduled actions and migration lifecycle
+    # ------------------------------------------------------------------ #
+
+    def schedule(self, at: Time, action: Callable[[], None]) -> None:
+        """Run ``action`` once the clock reaches application time ``at``."""
+        self._action_sequence += 1
+        self._actions.append((at, self._action_sequence, action))
+        self._actions.sort(key=lambda entry: (entry[0], entry[1]))
+
+    def schedule_migration(self, at: Time, new_box: Box, strategy: object) -> None:
+        """Schedule a migration to ``new_box`` via ``strategy`` at time ``at``."""
+        self.schedule(at, lambda: self.start_migration(new_box, strategy))
+
+    def start_migration(self, new_box: Box, strategy: object) -> None:
+        """Begin migrating from the current box to ``new_box`` immediately."""
+        if self.strategy is not None:
+            raise MigrationError("a migration is already in progress")
+        new_box.set_meter(self.meter)
+        self.strategy = strategy
+        strategy.begin(self, new_box)
+        self._poll_strategy()
+
+    def _poll_strategy(self) -> None:
+        if self.strategy is None:
+            return
+        self.strategy.after_event(self)
+        if self.strategy.finished:
+            self.migration_log.append(self.strategy.report())
+            self.strategy = None
+
+    # ------------------------------------------------------------------ #
+    # Accounting
+    # ------------------------------------------------------------------ #
+
+    def state_value_count(self) -> int:
+        """Payload values held in all live state (box + migration extras)."""
+        total = self.box.state_value_count()
+        if self.strategy is not None:
+            total += self.strategy.state_value_count()
+        return total
+
+    def _sample_metrics(self) -> None:
+        if self.metrics is None:
+            return
+        self.metrics.sample_memory(self.clock, self.state_value_count())
+        self.metrics.sample_cost(self.clock, self.meter.total)
+
+    # ------------------------------------------------------------------ #
+    # Event loop
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> None:
+        """Replay all input streams to completion.
+
+        The run ends with an end-of-stream heartbeat on every input, which
+        drains all operator state and forces any in-flight migration to its
+        natural completion (all watermarks pass ``T_split``).
+        """
+        if self._finished:
+            raise RuntimeError("executor can only run once")
+        queues = [SourceQueue(name, stream) for name, stream in self.sources.items()]
+        queue_by_name = {queue.name: queue for queue in queues}
+        for name, element in self.scheduler.order(queues):
+            self._fire_actions(element.start)
+            self.clock = max(self.clock, element.start)
+            self._sample_metrics_if_new_bucket()
+            self._ingest(name, element)
+            if not self.global_heartbeats:
+                # Without global heartbeats (non-global-order scheduling), a
+                # source whose stream has ended would stall downstream
+                # watermarks until end-of-stream; once its queue is empty it
+                # can safely promise the global clock.
+                for other, queue in queue_by_name.items():
+                    if other != name and not queue:
+                        self._window_ops[other].process_heartbeat(self.clock, 0)
+            self._poll_strategy()
+        self.finish()
+
+    def _ingest(self, name: str, element) -> None:
+        self.source_watermarks[name] = element.start
+        windowed_end = element.end + self.windows[name]
+        if windowed_end > self.source_max_ends[name]:
+            self.source_max_ends[name] = windowed_end
+        self.source_seen[name] = True
+        self.statistics.rate_of(name).observe(element.start)
+        if self.global_heartbeats:
+            # Advance every input to the global clock first, so expirations
+            # below the new element's timestamp apply before it is processed
+            # (the global temporal processing order of Section 5).
+            for window_op in self._window_ops.values():
+                window_op.process_heartbeat(element.start, 0)
+        self._window_ops[name].process(element, 0)
+
+    def _fire_actions(self, up_to: Time) -> None:
+        while self._actions and self._actions[0][0] <= up_to:
+            _, _, action = self._actions.pop(0)
+            action()
+
+    # ------------------------------------------------------------------ #
+    # Online (incremental) interface
+    # ------------------------------------------------------------------ #
+
+    def push(self, name: str, element) -> None:
+        """Feed one element online instead of replaying finite streams.
+
+        For long-running use (the actual DSMS setting), construct the
+        executor with empty source streams and push elements as they
+        arrive; scheduled actions and migrations advance exactly as during
+        a replayed run.  Per-source elements must arrive in start-timestamp
+        order; ``global_heartbeats`` additionally requires global order.
+        """
+        if self._finished:
+            raise RuntimeError("executor already finished")
+        if name not in self._window_ops:
+            raise KeyError(f"unknown source {name!r}")
+        if self.global_heartbeats and element.start < self.clock:
+            raise ValueError(
+                f"global-order executor received {name!r} element at "
+                f"{element.start} behind the clock {self.clock}"
+            )
+        self._fire_actions(element.start)
+        self.clock = max(self.clock, element.start)
+        self._sample_metrics_if_new_bucket()
+        self._ingest(name, element)
+        self._poll_strategy()
+
+    def advance(self, name: str, t: Time) -> None:
+        """Promise online that ``name`` will not deliver before ``t``."""
+        if name not in self._window_ops:
+            raise KeyError(f"unknown source {name!r}")
+        self._fire_actions(t)
+        self.clock = max(self.clock, t)
+        if self.source_watermarks[name] < t:
+            self.source_watermarks[name] = t
+        self._window_ops[name].process_heartbeat(t, 0)
+        self._poll_strategy()
+
+    def finish(self) -> None:
+        """End an online session: drain all state and complete migrations."""
+        if self._finished:
+            return
+        self._fire_actions(MAX_TIME)
+        self.at_end_of_stream = True
+        for window_op in self._window_ops.values():
+            window_op.process_heartbeat(MAX_TIME, 0)
+        self._poll_strategy()
+        if self.strategy is not None:
+            raise MigrationError(
+                f"migration {self.strategy!r} did not complete by end of stream"
+            )
+        self._sample_metrics()
+        self._finished = True
+
+    _last_bucket: Optional[int] = None
+
+    def _sample_metrics_if_new_bucket(self) -> None:
+        if self.metrics is None:
+            return
+        bucket = self.metrics.bucket_of(self.clock)
+        if bucket != self._last_bucket:
+            self._sample_metrics()
+            self._last_bucket = bucket

@@ -1,0 +1,131 @@
+"""Time-series instrumentation behind the paper's Figures 4, 5 and 6.
+
+The recorder tracks, per application-time bucket:
+
+* ``output``   — results delivered to the sink (Figure 4 output rate),
+* ``memory``   — payload values held in all live operator state, including
+  migration operators (Figure 5 memory usage),
+* ``cost``     — cumulative CPU cost units consumed (Figure 6 system load),
+* ``results`` — cumulative results delivered (Figure 6 y-axis).
+
+Buckets are application-time windows of ``bucket_size`` chronons; with the
+default millisecond chronon and ``bucket_size=1000`` a bucket is one second
+of application time, matching the paper's plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..temporal.time import Time
+
+
+@dataclass
+class MetricsSeries:
+    """Dense per-bucket series with named columns."""
+
+    bucket_size: Time
+    output: Dict[int, int] = field(default_factory=dict)
+    memory: Dict[int, int] = field(default_factory=dict)
+    cost: Dict[int, int] = field(default_factory=dict)
+    results: Dict[int, int] = field(default_factory=dict)
+
+    def dense(self, column: Dict[int, int], fill: Optional[int] = 0) -> List[int]:
+        """Expand a sparse column to a dense zero-based list.
+
+        ``fill=None`` carries the previous value forward (for cumulative or
+        sampled columns such as memory).
+        """
+        if not column:
+            return []
+        top = max(column)
+        series: List[int] = []
+        previous = 0
+        for bucket in range(top + 1):
+            if bucket in column:
+                previous = column[bucket]
+                series.append(previous)
+            elif fill is None:
+                series.append(previous)
+            else:
+                series.append(fill)
+        return series
+
+
+class MetricsRecorder:
+    """Collects the experiment time series during an executor run."""
+
+    def __init__(self, bucket_size: Time = 1000) -> None:
+        if bucket_size <= 0:
+            raise ValueError(f"bucket_size must be positive, got {bucket_size}")
+        self.series = MetricsSeries(bucket_size)
+        self._cumulative_results = 0
+
+    def bucket_of(self, t: Time) -> int:
+        """Map an application timestamp to its bucket index."""
+        return int(t // self.series.bucket_size)
+
+    def record_output(self, clock: Time, count: int = 1) -> None:
+        """Attribute ``count`` sink deliveries to the bucket of ``clock``."""
+        bucket = self.bucket_of(clock)
+        self.series.output[bucket] = self.series.output.get(bucket, 0) + count
+        self._cumulative_results += count
+        self.series.results[bucket] = self._cumulative_results
+
+    def sample_memory(self, clock: Time, values: int) -> None:
+        """Record the current state memory (payload value count)."""
+        self.series.memory[self.bucket_of(clock)] = values
+
+    def sample_cost(self, clock: Time, total_cost: int) -> None:
+        """Record the cumulative CPU cost units consumed so far."""
+        self.series.cost[self.bucket_of(clock)] = total_cost
+
+    # ------------------------------------------------------------------ #
+    # Convenience accessors used by the benchmark harness
+    # ------------------------------------------------------------------ #
+
+    def output_rate(self) -> List[int]:
+        """Dense per-bucket output counts (Figure 4 series)."""
+        return self.series.dense(self.series.output, fill=0)
+
+    def memory_usage(self) -> List[int]:
+        """Dense per-bucket memory samples (Figure 5 series)."""
+        return self.series.dense(self.series.memory, fill=None)
+
+    def cumulative_cost(self) -> List[int]:
+        """Dense per-bucket cumulative cost (Figure 6 x-axis)."""
+        return self.series.dense(self.series.cost, fill=None)
+
+    def cumulative_results(self) -> List[int]:
+        """Dense per-bucket cumulative results (Figure 6 y-axis)."""
+        return self.series.dense(self.series.results, fill=None)
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> dict:
+        """A JSON-serialisable snapshot of all recorded series."""
+        return {
+            "bucket_size": self.series.bucket_size,
+            "output": self.output_rate(),
+            "memory": self.memory_usage(),
+            "cost": self.cumulative_cost(),
+            "results": self.cumulative_results(),
+        }
+
+    def dump(self, path: str) -> None:
+        """Write the recorded series as JSON to ``path``."""
+        import json
+
+        with open(path, "w") as f:
+            json.dump(self.to_dict(), f, indent=2)
+
+    @classmethod
+    def load(cls, path: str) -> dict:
+        """Read a previously dumped series file."""
+        import json
+
+        with open(path) as f:
+            return json.load(f)

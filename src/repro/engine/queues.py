@@ -1,0 +1,55 @@
+"""Per-source event queues feeding the schedulers.
+
+The engine is single-threaded and push-based, so inter-operator transport
+is a synchronous call; queues exist at the ingestion boundary, where a
+scheduler decides in which order the sources' pending elements enter the
+plan (Section 5 of the paper runs "a single thread according to the global
+temporal ordering"; Remark 2 motivates supporting other policies too).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, Optional
+
+from ..temporal.element import StreamElement
+from ..temporal.time import Time
+
+
+class SourceQueue:
+    """FIFO of pending elements of one named source."""
+
+    __slots__ = ("name", "_items")
+
+    def __init__(self, name: str, elements: Iterable[StreamElement] = ()) -> None:
+        self.name = name
+        self._items: Deque[StreamElement] = deque(elements)
+
+    def push(self, element: StreamElement) -> None:
+        """Append an element; elements must arrive in start-timestamp order."""
+        if self._items and element.start < self._items[-1].start:
+            raise ValueError(
+                f"source {self.name}: element at {element.start} arrives after "
+                f"{self._items[-1].start}"
+            )
+        self._items.append(element)
+
+    def peek(self) -> Optional[StreamElement]:
+        """The next pending element, or ``None`` when empty."""
+        return self._items[0] if self._items else None
+
+    def pop(self) -> StreamElement:
+        """Remove and return the next pending element."""
+        return self._items.popleft()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    @property
+    def next_timestamp(self) -> Optional[Time]:
+        """Start timestamp of the head element, or ``None`` when empty."""
+        head = self.peek()
+        return head.start if head is not None else None

@@ -1,0 +1,67 @@
+"""Ingestion schedulers: in which order do sources' elements enter the plan?
+
+Two policies:
+
+* :class:`GlobalOrderScheduler` — strict global start-timestamp order
+  across all sources, the single-threaded setup of the paper's experiments.
+  With this policy every operator's watermarks advance in lock-step and
+  application-time skew between inputs is zero.
+* :class:`RoundRobinScheduler` — serves sources in fixed-size rounds,
+  deliberately introducing bounded skew.  This exercises Remark 2 of the
+  paper: GenMig keeps a migration start time *per input* precisely so that
+  it does not depend on globally ordered scheduling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..temporal.element import StreamElement
+from .queues import SourceQueue
+
+
+class Scheduler:
+    """Strategy deciding the order in which queued elements are consumed."""
+
+    def order(self, queues: List[SourceQueue]) -> Iterator[Tuple[str, StreamElement]]:
+        """Yield ``(source_name, element)`` pairs until all queues drain."""
+        raise NotImplementedError
+
+
+class GlobalOrderScheduler(Scheduler):
+    """Strict global temporal (start timestamp) order; ties by queue index."""
+
+    def order(self, queues: List[SourceQueue]) -> Iterator[Tuple[str, StreamElement]]:
+        while True:
+            best: Optional[int] = None
+            for index, queue in enumerate(queues):
+                t = queue.next_timestamp
+                if t is None:
+                    continue
+                if best is None or t < queues[best].next_timestamp:
+                    best = index
+            if best is None:
+                return
+            queue = queues[best]
+            yield queue.name, queue.pop()
+
+
+class RoundRobinScheduler(Scheduler):
+    """Serve each source ``batch`` elements per round, skipping empty queues.
+
+    Produces interleavings where one input's watermark runs ahead of
+    another's by up to ``batch`` elements — bounded application-time skew.
+    """
+
+    def __init__(self, batch: int = 1) -> None:
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        self.batch = batch
+
+    def order(self, queues: List[SourceQueue]) -> Iterator[Tuple[str, StreamElement]]:
+        while any(queues):
+            for queue in queues:
+                for _ in range(self.batch):
+                    if not queue:
+                        break
+                    yield queue.name, queue.pop()

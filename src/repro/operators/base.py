@@ -1,0 +1,274 @@
+"""Physical operator framework: push-based, watermark-driven, accountable.
+
+Operators form a DAG.  Each operator receives elements and heartbeats on
+numbered input ports, updates per-port *watermarks* (the latest start
+timestamp seen, Section 2.2 "Temporal Expiration"), and pushes results to
+its subscribers.  Three concerns are centralised here:
+
+* **Temporal expiration** — a state element ``(e, [t_S, t_E))`` is expired
+  once ``t_E <= min(watermarks)``: no future input interval can overlap it.
+* **Output ordering** — stateful operators may derive results whose start
+  timestamps interleave under application-time skew; they stage results in
+  a heap and release them once the watermark guarantees no earlier result
+  can still appear, preserving the physical-stream ordering property.
+* **Accounting** — every operator reports the number of payload values held
+  in its state (the Figure 5 memory metric) and charges CPU cost units to a
+  meter (the Figure 6 system-load metric).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from ..temporal.element import StreamElement
+from ..temporal.time import MAX_TIME, MIN_TIME, Time
+
+
+class CostMeter:
+    """Accumulates abstract CPU cost units, optionally per category.
+
+    The paper's saturated-mode experiment (Figure 6) measures wall-clock
+    time on dedicated hardware; we substitute deterministic cost units —
+    one unit per elementary operation, a configurable amount per join
+    predicate evaluation — so that the *relative* system load of migration
+    strategies is measured reproducibly (see DESIGN.md, substitutions).
+    """
+
+    __slots__ = ("total", "by_category")
+
+    def __init__(self) -> None:
+        self.total: int = 0
+        self.by_category: dict = {}
+
+    def charge(self, units: int, category: str = "misc") -> None:
+        """Add ``units`` of work attributed to ``category``."""
+        self.total += units
+        self.by_category[category] = self.by_category.get(category, 0) + units
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.total = 0
+        self.by_category.clear()
+
+
+class _NullMeter:
+    """Cost sink used when no metering is requested (zero overhead path)."""
+
+    __slots__ = ()
+
+    def charge(self, units: int, category: str = "misc") -> None:
+        """Discard the charge."""
+
+
+NULL_METER = _NullMeter()
+
+
+class Operator:
+    """Base class of all physical operators.
+
+    Subclasses implement :meth:`_on_element` (and optionally
+    :meth:`_on_watermark` / :meth:`state_elements`) and call :meth:`_stage`
+    or :meth:`_emit` to produce output.
+
+    Args:
+        arity: number of input ports.
+        name: diagnostic name.
+        ordered_output: when ``True`` (stateful operators), results are
+            staged in a heap and released by watermark; when ``False``
+            (stateless operators), results are forwarded immediately.
+    """
+
+    def __init__(self, arity: int = 1, name: str = "", ordered_output: bool = False) -> None:
+        if arity < 1:
+            raise ValueError(f"operator arity must be >= 1, got {arity}")
+        self.arity = arity
+        self.name = name or type(self).__name__
+        self.meter = NULL_METER
+        self._subscribers: List[Tuple["Operator", int]] = []
+        self._sinks: List[object] = []
+        self._watermarks: List[Time] = [MIN_TIME] * arity
+        self._ordered_output = ordered_output
+        self._heap: List[Tuple[Time, int, StreamElement]] = []
+        self._sequence = itertools.count()
+        self._emitted_watermark: Time = MIN_TIME
+
+    # ------------------------------------------------------------------ #
+    # Wiring
+    # ------------------------------------------------------------------ #
+
+    def subscribe(self, downstream: "Operator", port: int = 0) -> None:
+        """Route this operator's output into ``downstream``'s input ``port``."""
+        if not 0 <= port < downstream.arity:
+            raise ValueError(f"{downstream.name} has no input port {port}")
+        self._subscribers.append((downstream, port))
+
+    def unsubscribe(self, downstream: "Operator", port: int = 0) -> None:
+        """Remove a previously installed subscription."""
+        self._subscribers.remove((downstream, port))
+
+    def attach_sink(self, sink: object) -> None:
+        """Attach a sink object exposing ``process``/``process_heartbeat``."""
+        self._sinks.append(sink)
+
+    def detach_sink(self, sink: object) -> None:
+        """Detach a previously attached sink."""
+        self._sinks.remove(sink)
+
+    def clear_subscribers(self) -> None:
+        """Disconnect all downstream operators and sinks."""
+        self._subscribers.clear()
+        self._sinks.clear()
+
+    @property
+    def subscribers(self) -> List[Tuple["Operator", int]]:
+        """The current ``(operator, port)`` subscriptions (read-only view)."""
+        return list(self._subscribers)
+
+    # ------------------------------------------------------------------ #
+    # Input protocol
+    # ------------------------------------------------------------------ #
+
+    def process(self, element: StreamElement, port: int = 0) -> None:
+        """Consume one input element on ``port``."""
+        self._check_port(port)
+        if element.start < self._watermarks[port]:
+            raise ValueError(
+                f"{self.name}: out-of-order element on port {port}: "
+                f"{element.start} < watermark {self._watermarks[port]}"
+            )
+        self._watermarks[port] = element.start
+        self._on_element(element, port)
+        self._advance()
+
+    def process_heartbeat(self, t: Time, port: int = 0) -> None:
+        """Consume a heartbeat: no element on ``port`` will start before ``t``."""
+        self._check_port(port)
+        if t <= self._watermarks[port]:
+            return
+        self._watermarks[port] = t
+        self._on_heartbeat(t, port)
+        self._advance()
+
+    def _check_port(self, port: int) -> None:
+        if not 0 <= port < self.arity:
+            raise ValueError(f"{self.name} has no input port {port}")
+
+    @property
+    def min_watermark(self) -> Time:
+        """The least per-port watermark: the operator's notion of progress."""
+        return min(self._watermarks)
+
+    def watermark(self, port: int) -> Time:
+        """The watermark of a single input port."""
+        self._check_port(port)
+        return self._watermarks[port]
+
+    # ------------------------------------------------------------------ #
+    # Subclass hooks
+    # ------------------------------------------------------------------ #
+
+    def _on_element(self, element: StreamElement, port: int) -> None:
+        """Handle one input element; subclasses must override."""
+        raise NotImplementedError
+
+    def _on_heartbeat(self, t: Time, port: int) -> None:
+        """Handle a heartbeat; default does nothing beyond watermarking."""
+
+    def _on_watermark(self, watermark: Time) -> None:
+        """Expire state up to ``watermark``; default does nothing."""
+
+    def state_elements(self) -> Iterator[StreamElement]:
+        """Iterate over the elements currently held in operator state."""
+        return iter(())
+
+    #: Optional retention override: maps a state element to the watermark at
+    #: which it may be purged.  ``None`` means the interval rule of Section
+    #: 2.2 (purge once ``t_E <= watermark``).  The Parallel Track baseline
+    #: installs the slower tuple-timestamp rule of Zhu et al. here, which is
+    #: what stretches its migration to ~2w (Section 4.4 of the paper).
+    retention: Optional[Callable[[StreamElement], Time]] = None
+
+    def _expired(self, element: StreamElement, watermark: Time) -> bool:
+        """Decide whether a state element may be purged at ``watermark``."""
+        expiry = self.retention(element) if self.retention is not None else element.end
+        return expiry <= watermark
+
+    def state_value_count(self) -> int:
+        """Number of payload values in state — the Figure 5 memory metric.
+
+        Counts attribute values rather than elements, matching the paper's
+        "we only measured the memory allocated for the values"; staged but
+        unreleased output is included since it occupies memory too.
+        """
+        staged = sum(len(e.payload) for _, _, e in self._heap)
+        return staged + sum(len(e.payload) for e in self.state_elements())
+
+    # ------------------------------------------------------------------ #
+    # Output
+    # ------------------------------------------------------------------ #
+
+    def _emit(self, element: StreamElement) -> None:
+        """Forward ``element`` to all subscribers immediately."""
+        for downstream, port in self._subscribers:
+            downstream.process(element, port)
+        for sink in self._sinks:
+            sink.process(element)
+
+    def _emit_heartbeat(self, t: Time) -> None:
+        """Forward a heartbeat to all subscribers."""
+        for downstream, port in self._subscribers:
+            downstream.process_heartbeat(t, port)
+        for sink in self._sinks:
+            sink.process_heartbeat(t)
+
+    def _stage(self, element: StreamElement) -> None:
+        """Queue ``element`` for ordered release (or emit now if stateless)."""
+        if self._ordered_output:
+            heapq.heappush(self._heap, (element.start, next(self._sequence), element))
+        else:
+            self._emit(element)
+
+    def _output_watermark(self, watermark: Time) -> Time:
+        """The progress promise this operator can make to its subscribers.
+
+        Defaults to the input watermark; operators whose output lags behind
+        their input (e.g. a count-based window waiting for successors)
+        override this to promise less.
+        """
+        return watermark
+
+    def _advance(self) -> None:
+        """Run expiration and release ordered output up to the watermark."""
+        watermark = self.min_watermark
+        self._on_watermark(watermark)
+        if self._ordered_output:
+            while self._heap and self._heap[0][0] <= watermark:
+                self._emit(heapq.heappop(self._heap)[2])
+        promise = self._output_watermark(watermark)
+        if promise > self._emitted_watermark:
+            self._emitted_watermark = promise
+            self._emit_heartbeat(min(promise, MAX_TIME))
+
+    def flush(self) -> None:
+        """Release all staged output unconditionally (end-of-stream drain)."""
+        while self._heap:
+            self._emit(heapq.heappop(self._heap)[2])
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class StatelessOperator(Operator):
+    """Base for selection/projection-style operators: no state, direct emit."""
+
+    def __init__(self, name: str = "") -> None:
+        super().__init__(arity=1, name=name, ordered_output=False)
+
+
+class StatefulOperator(Operator):
+    """Base for operators that keep state and stage ordered output."""
+
+    def __init__(self, arity: int = 1, name: str = "") -> None:
+        super().__init__(arity=arity, name=name, ordered_output=True)

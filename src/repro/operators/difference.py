@@ -1,0 +1,115 @@
+"""Snapshot bag difference (the temporal minus operator).
+
+At every time instant ``t`` the output snapshot is the bag difference of the
+two input snapshots: a payload valid ``l`` times on the left and ``r`` times
+on the right appears ``max(0, l - r)`` times.  Like aggregation, results can
+only be finalised below the watermark, since future arrivals on *either*
+input may change multiplicities at later instants; the operator sweeps
+constant-multiplicity segments per payload as the watermark advances.
+
+This operator is one of the stateful operators for which the Parallel Track
+strategy is unsound (Note 1 in the paper) — GenMig handles it unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from ..temporal.element import Payload, StreamElement
+from ..temporal.interval import TimeInterval
+from ..temporal.time import MAX_TIME, MIN_TIME, Time
+from .aggregate import merge_flags
+from .base import StatefulOperator
+
+
+class Difference(StatefulOperator):
+    """Emit the per-snapshot bag difference ``left - right``."""
+
+    def __init__(self, name: str = "") -> None:
+        super().__init__(arity=2, name=name or "difference")
+        # Per payload, the not-yet-finalised elements of each input side.
+        self._state: Dict[Payload, Tuple[List[StreamElement], List[StreamElement]]] = {}
+        self._frontier: Time = MIN_TIME
+
+    def _on_element(self, element: StreamElement, port: int) -> None:
+        self.meter.charge(1, "difference")
+        sides = self._state.get(element.payload)
+        if sides is None:
+            sides = ([], [])
+            self._state[element.payload] = sides
+        sides[port].append(element)
+
+    def _on_watermark(self, watermark: Time) -> None:
+        if watermark <= self._frontier:
+            return
+        self._finalise(self._frontier, min(watermark, MAX_TIME))
+        self._frontier = watermark
+        emptied = []
+        for payload, (left, right) in self._state.items():
+            left[:] = [e for e in left if not self._expired(e, watermark)]
+            right[:] = [e for e in right if not self._expired(e, watermark)]
+            if not left and not right:
+                emptied.append(payload)
+        for payload in emptied:
+            del self._state[payload]
+
+    def _finalise(self, lo: Time, hi: Time) -> None:
+        for payload, (left, right) in self._state.items():
+            boundaries = {lo, hi}
+            for e in left:
+                if lo < e.start < hi:
+                    boundaries.add(e.start)
+                if lo < e.end < hi:
+                    boundaries.add(e.end)
+            for e in right:
+                if lo < e.start < hi:
+                    boundaries.add(e.start)
+                if lo < e.end < hi:
+                    boundaries.add(e.end)
+            ordered = sorted(boundaries)
+            pending: List[StreamElement] = []
+            for a, b in zip(ordered, ordered[1:]):
+                live_left = [e for e in left if e.interval.contains(a)]
+                live_right_count = sum(1 for e in right if e.interval.contains(a))
+                self.meter.charge(len(left) + len(right), "difference")
+                surplus = len(live_left) - live_right_count
+                if surplus <= 0:
+                    continue
+                segment = TimeInterval(a, b)
+                flag = merge_flags([e.flag for e in live_left])
+                for _ in range(surplus):
+                    pending.append(StreamElement(payload, segment, flag))
+            for merged in _merge_copies(pending):
+                self._stage(merged)
+
+    def state_elements(self) -> Iterator[StreamElement]:
+        for left, right in self._state.values():
+            yield from left
+            yield from right
+
+
+def _merge_copies(results: List[StreamElement]) -> List[StreamElement]:
+    """Merge adjacent equal-payload segments, respecting multiplicities.
+
+    Results arrive segment by segment in time order; the k-th copy within a
+    segment is merged with the k-th copy of an adjacent predecessor segment,
+    keeping the output compact without changing any snapshot.
+    """
+    chains: List[StreamElement] = []
+    merged: List[StreamElement] = []
+    for result in results:
+        extended = False
+        for index, chain in enumerate(chains):
+            if (
+                chain.end == result.start
+                and chain.payload == result.payload
+                and chain.flag == result.flag
+            ):
+                chains[index] = chain.with_interval(TimeInterval(chain.start, result.end))
+                extended = True
+                break
+        if not extended:
+            chains.append(result)
+    merged.extend(chains)
+    merged.sort(key=lambda e: (e.start, e.end))
+    return merged

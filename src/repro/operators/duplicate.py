@@ -1,0 +1,51 @@
+"""Snapshot duplicate elimination (the delta operator).
+
+Section 2.2: the output must never contain two elements with identical
+payloads and intersecting time intervals — at every snapshot, every payload
+appears at most once.  The implementation keeps, per payload, the set of
+instants already covered by emitted output and forwards only the uncovered
+remainder of each incoming element's validity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator
+
+from ..temporal.element import Payload, StreamElement
+from ..temporal.intervalset import IntervalSet
+from ..temporal.time import Time
+from .base import StatefulOperator
+
+
+class DuplicateElimination(StatefulOperator):
+    """Emit each payload's validity exactly once per snapshot."""
+
+    def __init__(self, name: str = "") -> None:
+        super().__init__(arity=1, name=name or "distinct")
+        self._coverage: Dict[Payload, IntervalSet] = {}
+
+    def _on_element(self, element: StreamElement, port: int) -> None:
+        self.meter.charge(1, "distinct")
+        covered = self._coverage.get(element.payload)
+        if covered is None:
+            covered = IntervalSet()
+            self._coverage[element.payload] = covered
+        for remainder in covered.subtract(element.interval):
+            self.meter.charge(1, "distinct")
+            self._stage(element.with_interval(remainder))
+            covered.add(remainder)
+
+    def _on_watermark(self, watermark: Time) -> None:
+        emptied = []
+        for payload, covered in self._coverage.items():
+            if covered.max_end() <= watermark:
+                emptied.append(payload)
+            else:
+                covered.expire_before(watermark)
+        for payload in emptied:
+            del self._coverage[payload]
+
+    def state_elements(self) -> Iterator[StreamElement]:
+        for payload, covered in self._coverage.items():
+            for interval in covered:
+                yield StreamElement(payload, interval)

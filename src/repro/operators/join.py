@@ -1,0 +1,221 @@
+"""Snapshot-reducible sliding-window joins.
+
+The temporal join of Section 2.2: two elements join iff (a) the join
+predicate holds on their payloads and (b) their validity intervals
+intersect; the result's interval is the intersection and its payload the
+concatenation.  Both a symmetric nested-loops variant (arbitrary theta
+predicates, the paper's experimental setup) and a symmetric hash variant
+(equi-joins) are provided.  State expires by the watermark rule of
+Section 2.2.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from ..temporal.element import Payload, StreamElement, combine_flags
+from ..temporal.time import Time
+from .base import StatefulOperator
+
+#: Payload combiner: receives (left_payload, right_payload).
+Combiner = Callable[[Payload, Payload], Payload]
+
+
+def concat_payloads(left: Payload, right: Payload) -> Payload:
+    """The default combiner: tuple concatenation."""
+    return left + right
+
+
+class _JoinBase(StatefulOperator):
+    """Shared mechanics of the symmetric join variants."""
+
+    def __init__(self, predicate_cost: int, name: str) -> None:
+        super().__init__(arity=2, name=name)
+        self.predicate_cost = predicate_cost
+        #: Key under which this join's selectivity is tracked in the
+        #: statistics catalog (the logical condition's signature); set by
+        #: the physical builder, consumed by the executor's wiring.
+        self.statistics_key: Optional[str] = None
+        #: Optional observer called with (candidates_tested, matches).
+        self.selectivity_probe: Optional[Callable[[int, int], None]] = None
+
+    def _match(self, element: StreamElement, partner: StreamElement, port: int) -> None:
+        """Combine ``element`` (arrived on ``port``) with a stored partner."""
+        intersection = element.interval.intersect(partner.interval)
+        if intersection is None:
+            return
+        if port == 0:
+            left, right = element, partner
+        else:
+            left, right = partner, element
+        payload = self.combiner(left.payload, right.payload)
+        flag = combine_flags(left.flag, right.flag)
+        self._stage(StreamElement(payload, intersection, flag))
+
+    combiner: Combiner = staticmethod(concat_payloads)
+
+
+class NestedLoopsJoin(_JoinBase):
+    """Symmetric nested-loops join for arbitrary theta predicates.
+
+    The paper's experiments use 4-way nested-loops join trees; the
+    ``predicate_cost`` knob reproduces the "more expensive join predicate"
+    of the Figure 6 experiment.
+
+    Args:
+        predicate: ``(left_payload, right_payload) -> bool``.
+        combiner: result payload constructor, default concatenation.
+        predicate_cost: cost units charged per predicate evaluation.
+    """
+
+    def __init__(
+        self,
+        predicate: Callable[[Payload, Payload], bool],
+        combiner: Combiner = concat_payloads,
+        predicate_cost: int = 1,
+        name: str = "",
+    ) -> None:
+        super().__init__(predicate_cost, name or "nl-join")
+        self.predicate = predicate
+        self.combiner = combiner
+        self._states: List[List[StreamElement]] = [[], []]
+
+    def _on_element(self, element: StreamElement, port: int) -> None:
+        partner_state = self._states[1 - port]
+        matches = 0
+        for partner in partner_state:
+            self.meter.charge(self.predicate_cost, "join-predicate")
+            if port == 0:
+                matched = self.predicate(element.payload, partner.payload)
+            else:
+                matched = self.predicate(partner.payload, element.payload)
+            if matched:
+                matches += 1
+                self._match(element, partner, port)
+        if self.selectivity_probe is not None and partner_state:
+            self.selectivity_probe(len(partner_state), matches)
+        self._states[port].append(element)
+        self.meter.charge(1, "join-insert")
+
+    def _on_watermark(self, watermark: Time) -> None:
+        for side in (0, 1):
+            state = self._states[side]
+            if any(self._expired(e, watermark) for e in state):
+                self._states[side] = [e for e in state if not self._expired(e, watermark)]
+
+    def state_elements(self) -> Iterator[StreamElement]:
+        yield from self._states[0]
+        yield from self._states[1]
+
+    def state_of_port(self, port: int) -> List[StreamElement]:
+        """The alive elements received on one input — used by Moving States."""
+        self._check_port(port)
+        return list(self._states[port])
+
+    def seed_state(self, port: int, elements: List[StreamElement]) -> None:
+        """Replace one input's state wholesale — used by Moving States."""
+        self._check_port(port)
+        self._states[port] = list(elements)
+
+    def pair_matches(self, left: Payload, right: Payload) -> bool:
+        """Whether two payloads satisfy the join predicate."""
+        return self.predicate(left, right)
+
+
+class HashJoin(_JoinBase):
+    """Symmetric hash join for equi-join predicates.
+
+    Args:
+        left_key / right_key: key extractors applied to the payloads.
+        combiner: result payload constructor, default concatenation.
+        predicate_cost: cost units charged per candidate comparison.
+    """
+
+    def __init__(
+        self,
+        left_key: Callable[[Payload], Any],
+        right_key: Callable[[Payload], Any],
+        combiner: Combiner = concat_payloads,
+        predicate_cost: int = 1,
+        name: str = "",
+    ) -> None:
+        super().__init__(predicate_cost, name or "hash-join")
+        self.combiner = combiner
+        self._keys = (left_key, right_key)
+        self._states: List[Dict[Any, List[StreamElement]]] = [{}, {}]
+
+    def _on_element(self, element: StreamElement, port: int) -> None:
+        key = self._keys[port](element.payload)
+        self.meter.charge(1, "join-hash")
+        matches = 0
+        for partner in self._states[1 - port].get(key, ()):
+            self.meter.charge(self.predicate_cost, "join-predicate")
+            matches += 1
+            self._match(element, partner, port)
+        if self.selectivity_probe is not None:
+            # Selectivity relative to the full partner state: the hash
+            # index prunes non-matching candidates, but the estimate must
+            # describe the predicate, not the index.
+            tested = sum(len(bucket) for bucket in self._states[1 - port].values())
+            if tested:
+                self.selectivity_probe(tested, matches)
+        self._states[port].setdefault(key, []).append(element)
+
+    def _on_watermark(self, watermark: Time) -> None:
+        for side in (0, 1):
+            state = self._states[side]
+            emptied = []
+            for key, bucket in state.items():
+                if any(self._expired(e, watermark) for e in bucket):
+                    bucket[:] = [e for e in bucket if not self._expired(e, watermark)]
+                    if not bucket:
+                        emptied.append(key)
+            for key in emptied:
+                del state[key]
+
+    def state_elements(self) -> Iterator[StreamElement]:
+        for side in (0, 1):
+            for bucket in self._states[side].values():
+                yield from bucket
+
+    def state_of_port(self, port: int) -> List[StreamElement]:
+        """The alive elements received on one input — used by Moving States."""
+        self._check_port(port)
+        return [e for bucket in self._states[port].values() for e in bucket]
+
+    def seed_state(self, port: int, elements: List[StreamElement]) -> None:
+        """Replace one input's state wholesale — used by Moving States."""
+        self._check_port(port)
+        state: Dict[Any, List[StreamElement]] = {}
+        key_of = self._keys[port]
+        for element in elements:
+            state.setdefault(key_of(element.payload), []).append(element)
+        self._states[port] = state
+
+    def pair_matches(self, left: Payload, right: Payload) -> bool:
+        """Whether two payloads satisfy the (equi-)join predicate."""
+        return self._keys[0](left) == self._keys[1](right)
+
+
+def equi_join(
+    left_field: int,
+    right_field: int,
+    predicate_cost: int = 1,
+    name: str = "",
+) -> HashJoin:
+    """Convenience constructor: hash equi-join on single payload positions."""
+    return HashJoin(
+        left_key=lambda payload: payload[left_field],
+        right_key=lambda payload: payload[right_field],
+        predicate_cost=predicate_cost,
+        name=name or f"equi-join[{left_field}={right_field}]",
+    )
+
+
+def theta_join(
+    predicate: Callable[[Payload, Payload], bool],
+    predicate_cost: int = 1,
+    name: str = "",
+) -> NestedLoopsJoin:
+    """Convenience constructor: nested-loops theta join."""
+    return NestedLoopsJoin(predicate, predicate_cost=predicate_cost, name=name or "theta-join")

@@ -1,0 +1,22 @@
+"""Snapshot union: bag union of two streams (``UNION ALL``).
+
+Semantically stateless — every input element is an output element — but the
+two inputs must be merged back into start-timestamp order, so the operator
+stages output and releases it by watermark like any stateful operator.
+"""
+
+from __future__ import annotations
+
+from ..temporal.element import StreamElement
+from .base import StatefulOperator
+
+
+class Union(StatefulOperator):
+    """Order-preserving merge of two snapshot streams."""
+
+    def __init__(self, name: str = "") -> None:
+        super().__init__(arity=2, name=name or "union")
+
+    def _on_element(self, element: StreamElement, port: int) -> None:
+        self.meter.charge(1, "union")
+        self._stage(element)

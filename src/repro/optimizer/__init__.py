@@ -1,0 +1,25 @@
+"""Query re-optimization: transformation rules, cost model, migration driver."""
+
+from .cost import CostModel, Estimate
+from .joinorder import best_join_order
+from .optimizer import OptimizationDecision, ReOptimizer
+from .rules import (
+    JoinGraph,
+    join_orders,
+    pull_up_distinct,
+    push_down_distinct,
+    push_down_selections,
+)
+
+__all__ = [
+    "CostModel",
+    "best_join_order",
+    "Estimate",
+    "JoinGraph",
+    "OptimizationDecision",
+    "ReOptimizer",
+    "join_orders",
+    "pull_up_distinct",
+    "push_down_distinct",
+    "push_down_selections",
+]

@@ -1,0 +1,147 @@
+"""A rate/state cost model for continuous query plans.
+
+Continuous queries are priced per unit of application time, not per tuple
+set: each operator contributes a processing cost proportional to its input
+rates and probed state sizes, and holds state proportional to rate × window
+(the steady-state size under temporal expiration).  The estimates consume
+the runtime statistics catalog (rates, selectivities) — the "plethora of
+runtime statistics" the paper's introduction attributes to the DSMS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..engine.statistics import StatisticsCatalog
+from ..plans.logical import (
+    AggregateNode,
+    DifferenceNode,
+    DistinctNode,
+    JoinNode,
+    LogicalPlan,
+    ProjectNode,
+    Query,
+    SelectNode,
+    Source,
+    UnionNode,
+)
+from ..temporal.time import Time
+
+
+@dataclass
+class Estimate:
+    """Per-unit-time estimates for one plan node."""
+
+    rate: float
+    state: float
+    cost: float
+
+
+class CostModel:
+    """Estimates steady-state CPU cost per unit time for a plan.
+
+    Args:
+        join_cost: cost units per join candidate comparison (matches the
+            ``PhysicalBuilder`` knob).
+        default_selectivity: join/filter selectivity assumed when the
+            statistics catalog has no observation for a predicate.
+        distinct_rate_factor: assumed fraction of input rate surviving
+            duplicate elimination.
+    """
+
+    def __init__(
+        self,
+        join_cost: int = 1,
+        default_selectivity: float = 0.01,
+        distinct_rate_factor: float = 0.5,
+    ) -> None:
+        self.join_cost = join_cost
+        self.default_selectivity = default_selectivity
+        self.distinct_rate_factor = distinct_rate_factor
+
+    def cost(
+        self,
+        query: Query,
+        plan: Optional[LogicalPlan] = None,
+        statistics: Optional[StatisticsCatalog] = None,
+    ) -> float:
+        """Total estimated cost per unit time of running ``plan``."""
+        return self.estimate(query, plan, statistics).cost
+
+    def estimate(
+        self,
+        query: Query,
+        plan: Optional[LogicalPlan] = None,
+        statistics: Optional[StatisticsCatalog] = None,
+    ) -> Estimate:
+        """Full (rate, state, cost) estimate for ``plan``."""
+        plan = plan if plan is not None else query.plan
+        statistics = statistics or StatisticsCatalog()
+        return self._estimate(plan, query.windows, statistics)
+
+    def _estimate(
+        self, plan: LogicalPlan, windows: Dict[str, Time], statistics: StatisticsCatalog
+    ) -> Estimate:
+        if isinstance(plan, Source):
+            rate = statistics.rate_of(plan.name).rate
+            window = windows[plan.name]
+            return Estimate(rate=rate, state=rate * (window + 1), cost=0.0)
+
+        children = [self._estimate(child, windows, statistics) for child in plan.children]
+
+        if isinstance(plan, SelectNode):
+            selectivity = self._selectivity(repr(plan.predicate), statistics)
+            child = children[0]
+            return Estimate(
+                rate=child.rate * selectivity,
+                state=child.state * selectivity,
+                cost=child.cost + child.rate,
+            )
+        if isinstance(plan, ProjectNode):
+            child = children[0]
+            return Estimate(child.rate, child.state, child.cost + child.rate)
+        if isinstance(plan, JoinNode):
+            left, right = children
+            if plan.condition is None:
+                # A cross product keeps every pair: selectivity is exactly 1.
+                selectivity = 1.0
+            else:
+                selectivity = self._selectivity(repr(plan.condition), statistics)
+            probes = left.rate * right.state + right.rate * left.state
+            out_rate = probes * selectivity
+            out_state = left.state * right.state * selectivity
+            cost = left.cost + right.cost + probes * self.join_cost + out_rate
+            return Estimate(out_rate, out_state, cost)
+        if isinstance(plan, DistinctNode):
+            child = children[0]
+            factor = self.distinct_rate_factor
+            return Estimate(child.rate * factor, child.state * factor, child.cost + child.rate)
+        if isinstance(plan, AggregateNode):
+            child = children[0]
+            groups = max(1.0, child.state * self.distinct_rate_factor) if plan.group_by else 1.0
+            # Every input boundary can change the aggregate: two output
+            # changes per element (start and end of its validity).
+            out_rate = min(child.rate * 2.0, child.rate * 2.0 * groups)
+            return Estimate(out_rate, child.state, child.cost + child.rate * 2.0)
+        if isinstance(plan, UnionNode):
+            left, right = children
+            return Estimate(
+                left.rate + right.rate,
+                left.state + right.state,
+                left.cost + right.cost + left.rate + right.rate,
+            )
+        if isinstance(plan, DifferenceNode):
+            left, right = children
+            return Estimate(
+                left.rate,
+                left.state + right.state,
+                left.cost + right.cost + left.rate + right.rate,
+            )
+        raise TypeError(f"cannot estimate {type(plan).__name__}")
+
+    def _selectivity(self, key: str, statistics: StatisticsCatalog) -> float:
+        estimator = statistics.selectivities.get(key)
+        if estimator is None:
+            return self.default_selectivity
+        return estimator.selectivity

@@ -1,0 +1,136 @@
+"""Cost-based join-order search over bushy trees (DPsub).
+
+``join_orders`` (rules.py) enumerates left-deep permutations — fine for a
+handful of inputs, and the shape the paper's experiments use.  This module
+adds the classical dynamic program over connected subsets, considering
+*bushy* shapes too: ``best_join_order`` returns the cheapest tree under the
+cost model, which the re-optimizer can use instead of exhaustive
+enumeration when queries join more inputs.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..engine.statistics import StatisticsCatalog
+from ..plans.expressions import Expression, Field, conjunction
+from ..plans.logical import JoinNode, LogicalPlan, ProjectNode, Query, SelectNode
+from .cost import CostModel
+from .rules import JoinGraph, _rebuild
+
+
+def _peel_wrappers(plan: LogicalPlan) -> Tuple[List[LogicalPlan], LogicalPlan]:
+    wrappers: List[LogicalPlan] = []
+    inner = plan
+    while not isinstance(inner, JoinNode) and len(inner.children) == 1:
+        wrappers.append(inner)
+        inner = inner.children[0]
+    return wrappers, inner
+
+
+def best_join_order(
+    plan: LogicalPlan,
+    query: Query,
+    statistics: Optional[StatisticsCatalog] = None,
+    cost_model: Optional[CostModel] = None,
+    max_leaves: int = 10,
+) -> Optional[LogicalPlan]:
+    """The cheapest (possibly bushy) join tree equivalent to ``plan``.
+
+    Returns ``None`` when ``plan`` contains no join tree.  Cross products
+    are only considered when a subset has no connecting predicate at all,
+    the standard heuristic.  The result is re-projected to ``plan``'s
+    schema, with any wrapper operators (selection, distinct, ...) that sat
+    above the join tree re-applied.
+
+    Args:
+        plan: the current plan (the join tree may sit under unary wrappers).
+        query: supplies the per-source windows for the cost model.
+        statistics: live statistics; defaults to an empty catalog.
+        cost_model: defaults to :class:`CostModel`'s defaults.
+        max_leaves: guard against exponential blow-up (2^n subsets).
+    """
+    statistics = statistics or StatisticsCatalog()
+    cost_model = cost_model or CostModel()
+    wrappers, inner = _peel_wrappers(plan)
+    graph = JoinGraph.extract(inner)
+    if graph is None:
+        return None
+    leaves = graph.leaves
+    if len(leaves) > max_leaves:
+        raise ValueError(
+            f"join-order search over {len(leaves)} inputs exceeds max_leaves="
+            f"{max_leaves}"
+        )
+    columns_of = [frozenset(leaf.schema) for leaf in leaves]
+    # A conjunct confined to one leaf never "crosses" a split and would be
+    # lost; keep such residue for a final selection instead.
+    residue = [
+        p for p in graph.predicates
+        if any(p.columns() <= cols for cols in columns_of)
+    ]
+    predicates = [p for p in graph.predicates if p not in residue]
+
+    def applicable(left_cols: FrozenSet[str], right_cols: FrozenSet[str]) -> List[Expression]:
+        both = left_cols | right_cols
+        return [
+            p for p in predicates
+            if p.columns() <= both
+            and not p.columns() <= left_cols
+            and not p.columns() <= right_cols
+        ]
+
+    Subset = FrozenSet[int]
+    best: Dict[Subset, Tuple[float, LogicalPlan, FrozenSet[str]]] = {}
+    for index, leaf in enumerate(leaves):
+        cost = cost_model.estimate(query, leaf, statistics).cost
+        best[frozenset({index})] = (cost, leaf, columns_of[index])
+
+    indices = range(len(leaves))
+    for size in range(2, len(leaves) + 1):
+        for subset_tuple in combinations(indices, size):
+            subset: Subset = frozenset(subset_tuple)
+            champion: Optional[Tuple[float, LogicalPlan, FrozenSet[str]]] = None
+            connected_champion = False
+            members = sorted(subset)
+            # Enumerate proper splits; fix the smallest member on the left
+            # to halve the symmetric duplicates.
+            anchor = members[0]
+            rest = [i for i in members if i != anchor]
+            for r in range(0, len(rest)):
+                for extra in combinations(rest, r):
+                    left: Subset = frozenset({anchor, *extra})
+                    right: Subset = subset - left
+                    if not right:
+                        continue
+                    left_cost, left_plan, left_cols = best[left]
+                    right_cost, right_plan, right_cols = best[right]
+                    conds = applicable(left_cols, right_cols)
+                    connected = bool(conds)
+                    if connected_champion and not connected:
+                        continue  # never prefer a cross product to a join
+                    candidate = JoinNode(
+                        left_plan, right_plan,
+                        conjunction(conds) if conds else None,
+                    )
+                    cost = cost_model.estimate(query, candidate, statistics).cost
+                    better = (
+                        champion is None
+                        or (connected and not connected_champion)
+                        or (connected == connected_champion and cost < champion[0])
+                    )
+                    if better:
+                        champion = (cost, candidate, left_cols | right_cols)
+                        connected_champion = connected
+            best[subset] = champion
+
+    _, tree, _ = best[frozenset(indices)]
+    if residue:
+        tree = SelectNode(tree, conjunction(residue))
+    original = sum((leaf.schema for leaf in leaves), ())
+    if tree.schema != original:
+        tree = ProjectNode(tree, [(Field(name), name) for name in original])
+    for wrapper in reversed(wrappers):
+        tree = _rebuild(wrapper, [tree])
+    return tree

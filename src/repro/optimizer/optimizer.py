@@ -1,0 +1,134 @@
+"""The re-optimizer: statistics → candidate plans → dynamic migration.
+
+This closes the loop the paper's introduction describes: the DSMS monitors
+runtime statistics, the optimizer re-optimizes the logical plan with the
+conventional transformation rules (sound because all operators are
+snapshot-reducible), and — when a sufficiently better plan exists — the
+running box is replaced via a dynamic plan migration strategy, GenMig by
+default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..core.genmig import GenMig
+from ..core.strategy import MigrationStrategy
+from ..engine.executor import QueryExecutor
+from ..engine.statistics import StatisticsCatalog
+from ..plans.logical import LogicalPlan, Query
+from ..plans.physical import PhysicalBuilder
+from .cost import CostModel
+from .rules import join_orders, push_down_distinct, push_down_selections
+
+
+@dataclass
+class OptimizationDecision:
+    """What the re-optimizer decided for one consideration round."""
+
+    current_cost: float
+    best_cost: float
+    chosen: Optional[LogicalPlan]
+    candidates_considered: int
+
+    @property
+    def migrate(self) -> bool:
+        return self.chosen is not None
+
+
+class ReOptimizer:
+    """Plan re-optimization driving dynamic migration.
+
+    Args:
+        builder: logical-to-physical compiler for the new box.
+        cost_model: the plan cost model.
+        strategy_factory: builds a fresh migration strategy per migration
+            (default: GenMig).
+        improvement_threshold: migrate only when the best candidate costs
+            less than ``threshold`` times the current plan — re-optimization
+            is not free, so small wins are ignored.
+    """
+
+    def __init__(
+        self,
+        builder: Optional[PhysicalBuilder] = None,
+        cost_model: Optional[CostModel] = None,
+        strategy_factory: Callable[[], MigrationStrategy] = GenMig,
+        improvement_threshold: float = 0.8,
+    ) -> None:
+        self.builder = builder or PhysicalBuilder()
+        self.cost_model = cost_model or CostModel()
+        self.strategy_factory = strategy_factory
+        self.improvement_threshold = improvement_threshold
+        self.decisions: List[OptimizationDecision] = []
+
+    # ------------------------------------------------------------------ #
+    # Candidate generation
+    # ------------------------------------------------------------------ #
+
+    def candidates(self, plan: LogicalPlan) -> List[LogicalPlan]:
+        """Equivalent plans produced by the transformation rules."""
+        seeds = [plan, push_down_selections(plan), push_down_distinct(plan)]
+        alternatives: List[LogicalPlan] = []
+        seen = set()
+        for seed in seeds:
+            for candidate in [seed] + join_orders(seed):
+                signature = candidate.signature()
+                if signature not in seen:
+                    seen.add(signature)
+                    alternatives.append(candidate)
+        return alternatives
+
+    # ------------------------------------------------------------------ #
+    # Decision and migration
+    # ------------------------------------------------------------------ #
+
+    def decide(
+        self,
+        query: Query,
+        current: LogicalPlan,
+        statistics: StatisticsCatalog,
+    ) -> OptimizationDecision:
+        """Pick the cheapest equivalent plan; decide whether to migrate."""
+        current_cost = self.cost_model.cost(query, current, statistics)
+        best_plan: Optional[LogicalPlan] = None
+        best_cost = current_cost
+        alternatives = self.candidates(current)
+        for candidate in alternatives:
+            if candidate.signature() == current.signature():
+                continue
+            cost = self.cost_model.cost(query, candidate, statistics)
+            if cost < best_cost:
+                best_cost = cost
+                best_plan = candidate
+        if best_plan is not None and best_cost >= current_cost * self.improvement_threshold:
+            best_plan = None
+        decision = OptimizationDecision(
+            current_cost=current_cost,
+            best_cost=best_cost,
+            chosen=best_plan,
+            candidates_considered=len(alternatives),
+        )
+        self.decisions.append(decision)
+        return decision
+
+    def reoptimize(
+        self,
+        executor: QueryExecutor,
+        query: Query,
+        current: LogicalPlan,
+    ) -> Optional[LogicalPlan]:
+        """One re-optimization round against a running executor.
+
+        Uses the executor's live statistics; when a better plan is found,
+        builds its box and starts a dynamic migration immediately.  Returns
+        the newly installed logical plan, or ``None`` when no migration was
+        triggered.
+        """
+        decision = self.decide(query, current, executor.statistics)
+        if not decision.migrate:
+            return None
+        new_box = self.builder.build(decision.chosen, label=decision.chosen.signature())
+        executor.start_migration(new_box, self.strategy_factory())
+        return decision.chosen

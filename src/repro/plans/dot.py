@@ -1,0 +1,76 @@
+"""Graphviz DOT export for logical plans and physical boxes.
+
+Pure string generation — no graphviz dependency.  Render with any dot
+tool, e.g. ``dot -Tsvg plan.dot -o plan.svg``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..engine.box import Box
+from ..operators.base import Operator
+from .logical import LogicalPlan
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def plan_to_dot(plan: LogicalPlan, name: str = "plan") -> str:
+    """Render a logical plan tree as a DOT digraph (edges flow upward)."""
+    from ..cql.unparse import _shallow_label
+
+    lines = [
+        f'digraph "{_escape(name)}" {{',
+        "  rankdir=BT;",
+        '  node [shape=box, fontname="Helvetica", fontsize=11];',
+    ]
+    counter = {"next": 0}
+
+    def visit(node: LogicalPlan) -> str:
+        identifier = f"n{counter['next']}"
+        counter["next"] += 1
+        lines.append(f'  {identifier} [label="{_escape(_shallow_label(node))}"];')
+        for child in node.children:
+            child_id = visit(child)
+            lines.append(f"  {child_id} -> {identifier};")
+        return identifier
+
+    visit(plan)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def box_to_dot(box: Box, name: str = "") -> str:
+    """Render a physical box: operators, subscriptions, taps and root."""
+    lines = [
+        f'digraph "{_escape(name or box.label or "box")}" {{',
+        "  rankdir=BT;",
+        '  node [shape=box, fontname="Helvetica", fontsize=11];',
+    ]
+    identifiers: Dict[int, str] = {}
+    for index, operator in enumerate(box.operators):
+        identifier = f"op{index}"
+        identifiers[id(operator)] = identifier
+        shape = ' style="bold"' if operator is box.root else ""
+        lines.append(f'  {identifier} [label="{_escape(operator.name)}"{shape}];')
+    for source, ports in sorted(box.taps.items()):
+        source_id = f"src_{source}"
+        lines.append(
+            f'  {source_id} [label="{_escape(source)}", shape=ellipse];'
+        )
+        for operator, port in ports:
+            lines.append(
+                f'  {source_id} -> {identifiers[id(operator)]} '
+                f'[label="port {port}"];'
+            )
+    for operator in box.operators:
+        for downstream, port in operator.subscribers:
+            if id(downstream) in identifiers:
+                lines.append(
+                    f"  {identifiers[id(operator)]} -> "
+                    f'{identifiers[id(downstream)]} [label="port {port}"];'
+                )
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,38 @@
+"""Positive-negative tuple implementation (Section 2.3) and its GenMig.
+
+The PN model expresses validity with paired ``+``/``-`` elements instead of
+intervals.  ``convert`` makes the equivalence of the two physical models
+executable; ``operators`` provides the PN algebra; ``genmig`` transfers the
+migration strategy per Section 4.6.
+"""
+
+from .convert import interval_to_pn, pn_to_interval
+from .genmig import PNBox, PNMigrationReport, run_pn_migration
+from .operators import (
+    PNAggregate,
+    PNCollector,
+    PNDistinct,
+    PNJoin,
+    PNOperator,
+    PNProject,
+    PNSelect,
+    PNWindow,
+    run_pn_pipeline,
+)
+
+__all__ = [
+    "PNAggregate",
+    "PNBox",
+    "PNCollector",
+    "PNDistinct",
+    "PNJoin",
+    "PNMigrationReport",
+    "PNOperator",
+    "PNProject",
+    "PNSelect",
+    "PNWindow",
+    "interval_to_pn",
+    "pn_to_interval",
+    "run_pn_migration",
+    "run_pn_pipeline",
+]

@@ -1,0 +1,85 @@
+"""Conversions between interval-based and positive-negative streams.
+
+Section 2.3: an interval element ``(e, [t_S, t_E))`` corresponds to the
+pair ``(e, t_S, +)`` and ``(e, t_E, -)``.  The conversions below make the
+semantic equivalence of the two physical models executable — and testable:
+any interval pipeline can be checked against its PN counterpart.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Tuple
+
+from ..temporal.element import Payload, PNElement, Sign, StreamElement, negative, positive
+from ..temporal.time import MAX_TIME
+
+
+def interval_to_pn(elements: Iterable[StreamElement]) -> List[PNElement]:
+    """Convert an interval stream into a timestamp-ordered PN stream.
+
+    Elements with unbounded validity produce only a positive element.
+    """
+    items: List[Tuple[object, int, PNElement]] = []
+    sequence = 0
+    for element in elements:
+        items.append((element.start, sequence, positive(element.payload, element.start)))
+        sequence += 1
+        if not element.interval.is_unbounded:
+            items.append((element.end, sequence, negative(element.payload, element.end)))
+            sequence += 1
+    items.sort(key=lambda item: (item[0], item[1]))
+    return [pn for _, _, pn in items]
+
+
+def pn_to_interval(elements: Iterable[PNElement]) -> List[StreamElement]:
+    """Convert a PN stream back into an interval stream.
+
+    Positives and negatives are matched per payload in FIFO order; a
+    positive without a matching negative yields an unbounded interval.
+
+    Raises:
+        ValueError: on a negative element without a preceding positive.
+    """
+    from ..temporal.interval import TimeInterval
+
+    open_positives: Dict[Payload, Deque[PNElement]] = {}
+    results: List[Tuple[object, int, StreamElement]] = []
+    sequence = 0
+    for element in elements:
+        if element.is_positive:
+            open_positives.setdefault(element.payload, deque()).append(element)
+            continue
+        pending = open_positives.get(element.payload)
+        if not pending:
+            raise ValueError(f"negative element without matching positive: {element}")
+        opened = pending.popleft()
+        if not pending:
+            del open_positives[element.payload]
+        if element.timestamp > opened.timestamp:
+            results.append(
+                (
+                    opened.timestamp,
+                    sequence,
+                    StreamElement(
+                        element.payload,
+                        TimeInterval(opened.timestamp, element.timestamp),
+                    ),
+                )
+            )
+            sequence += 1
+    for pending in open_positives.values():
+        for opened in pending:
+            results.append(
+                (
+                    opened.timestamp,
+                    sequence,
+                    StreamElement(
+                        opened.payload, TimeInterval(opened.timestamp, MAX_TIME)
+                    ),
+                )
+            )
+            sequence += 1
+    results.sort(key=lambda item: (item[0], item[1]))
+    return [element for _, _, element in results]

@@ -1,0 +1,72 @@
+"""Heartbeats (punctuation) for explicit progress of application time.
+
+A heartbeat ``t`` on a stream promises that every future element of that
+stream has a start timestamp ``>= t``.  Heartbeats let stateful operators
+expire state and release ordered output even when a stream is silent or
+lags behind its siblings (application-time skew) — see Srivastava & Widom,
+"Flexible Time Management in Data Stream Systems" ([11] in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple, Union
+
+from ..temporal.element import StreamElement
+from ..temporal.time import MAX_TIME, Time, validate_time
+from .stream import PhysicalStream
+
+
+@dataclass(frozen=True, slots=True)
+class Heartbeat:
+    """A progress-only stream item: no payload, just a time promise."""
+
+    timestamp: Time
+
+    def __post_init__(self) -> None:
+        validate_time(self.timestamp)
+
+    @property
+    def is_end_of_stream(self) -> bool:
+        """``True`` for the terminal heartbeat that drains all state."""
+        return self.timestamp >= MAX_TIME
+
+
+#: Terminal heartbeat: every operator flushes and expires everything.
+END_OF_STREAM = Heartbeat(MAX_TIME)
+
+#: An item travelling on an instrumented stream.
+StreamItem = Union[StreamElement, Heartbeat]
+
+
+def with_periodic_heartbeats(
+    stream: PhysicalStream, period: Time
+) -> Iterator[StreamItem]:
+    """Interleave ``stream`` with heartbeats every ``period`` time units.
+
+    The heartbeat value is the timestamp of the most recent element, which
+    is always a sound promise for an ordered stream.
+    """
+    if period <= 0:
+        raise ValueError(f"heartbeat period must be positive, got {period}")
+    next_beat = period
+    last_seen: Time = 0
+    for element in stream:
+        while element.start >= next_beat:
+            yield Heartbeat(max(last_seen, next_beat - period))
+            next_beat += period
+        last_seen = element.start
+        yield element
+    yield END_OF_STREAM
+
+
+def split_items(items: Iterator[StreamItem]) -> Tuple[List[StreamElement], List[Heartbeat]]:
+    """Separate elements from heartbeats, preserving relative order."""
+    elements: List[StreamElement] = []
+    beats: List[Heartbeat] = []
+    for item in items:
+        if isinstance(item, Heartbeat):
+            beats.append(item)
+        else:
+            elements.append(item)
+    return elements, beats

@@ -1,0 +1,43 @@
+"""Conversions between timestamped relations and physical streams.
+
+Section 2.2 of the paper ("Input Stream Conversion"): application streams
+deliver ``(e, t)`` pairs; a physical stream is obtained by mapping each to
+``(e, [t, t+1))`` at the finest time granularity.  This module also offers
+the reverse mapping and a relation snapshot helper, mirroring the
+stream-relation duality of Figure 1.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Sequence, Tuple
+
+from ..temporal.element import StreamElement, as_payload, element
+from ..temporal.multiset import Multiset
+from ..temporal.time import CHRONON, Time
+from .stream import PhysicalStream
+
+
+def relation_to_stream(rows: Iterable[Tuple[Any, Time]], name: str = "") -> PhysicalStream:
+    """Convert ``(row, timestamp)`` pairs to an interval physical stream.
+
+    Rows must arrive in non-decreasing timestamp order (streams are assumed
+    ordered by their timestamp attribute).
+    """
+    elements = [element(row, t, t + CHRONON) for row, t in rows]
+    return PhysicalStream(elements, name=name)
+
+
+def stream_to_relation(
+    stream: Iterable[StreamElement],
+) -> List[Tuple[Tuple[Any, ...], Time, Time]]:
+    """Flatten a physical stream to ``(payload, t_S, t_E)`` rows."""
+    return [(e.payload, e.start, e.end) for e in stream]
+
+
+def snapshot_relation(stream: Sequence[StreamElement], t: Time) -> Multiset:
+    """The relation that ``stream`` represents at time instant ``t``.
+
+    Identical to :func:`repro.temporal.snapshot.snapshot`; re-exported here
+    under the relational vocabulary of Figure 1 for discoverability.
+    """
+    return Multiset(e.payload for e in stream if e.is_valid_at(t))

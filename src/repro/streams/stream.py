@@ -1,0 +1,133 @@
+"""Physical streams: ordered sequences of interval-stamped elements.
+
+Definition 3 of the paper: a physical stream is a potentially infinite
+sequence of ``(e, [t_S, t_E))`` elements, non-decreasingly ordered by start
+timestamps.  In this library a :class:`PhysicalStream` is the *finite*
+materialisation used by sources, sinks, the reference oracle and the test
+suite; the engine itself processes elements one by one in push mode.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..temporal.element import StreamElement
+from ..temporal.time import Time
+
+
+class StreamOrderError(ValueError):
+    """Raised when a sequence of elements violates start-timestamp order."""
+
+
+class PhysicalStream:
+    """A finite, start-timestamp-ordered sequence of stream elements.
+
+    Args:
+        elements: the elements, already ordered non-decreasingly by ``t_S``.
+        name: optional name used in diagnostics.
+        validate: when ``True`` (default) the ordering property is checked
+            at construction time and a :class:`StreamOrderError` is raised on
+            violation.
+    """
+
+    __slots__ = ("_elements", "name")
+
+    def __init__(
+        self,
+        elements: Iterable[StreamElement] = (),
+        name: str = "",
+        validate: bool = True,
+    ) -> None:
+        self._elements: List[StreamElement] = list(elements)
+        self.name = name
+        if validate:
+            self._validate_order()
+
+    def _validate_order(self) -> None:
+        previous: Optional[Time] = None
+        for position, e in enumerate(self._elements):
+            if previous is not None and e.start < previous:
+                raise StreamOrderError(
+                    f"stream {self.name or '<anonymous>'} violates start-timestamp order "
+                    f"at position {position}: {e.start} < {previous}"
+                )
+            previous = e.start
+
+    # ------------------------------------------------------------------ #
+    # Sequence protocol
+    # ------------------------------------------------------------------ #
+
+    def __iter__(self) -> Iterator[StreamElement]:
+        return iter(self._elements)
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __getitem__(self, index: int) -> StreamElement:
+        return self._elements[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PhysicalStream):
+            return NotImplemented
+        return self._elements == other._elements
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return f"PhysicalStream{label}({len(self._elements)} elements)"
+
+    @property
+    def elements(self) -> Sequence[StreamElement]:
+        """The underlying element sequence (read-only view by convention)."""
+        return self._elements
+
+    def is_ordered(self) -> bool:
+        """Return ``True`` if the stream satisfies the ordering property."""
+        try:
+            self._validate_order()
+        except StreamOrderError:
+            return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Combinators
+    # ------------------------------------------------------------------ #
+
+    def merged_with(self, *others: "PhysicalStream") -> "PhysicalStream":
+        """Merge several ordered streams into one ordered stream."""
+        merged = list(
+            heapq.merge(self, *others, key=lambda e: e.start)
+        )
+        return PhysicalStream(merged, name=self.name, validate=False)
+
+
+def merge_tagged(
+    streams: Sequence[Tuple[str, PhysicalStream]],
+) -> Iterator[Tuple[str, StreamElement]]:
+    """Merge named streams into global start-timestamp order.
+
+    Ties are broken by the position of the stream in ``streams`` and then by
+    arrival position, making the global ordering deterministic — the setup
+    used in the paper's experiments ("executed the plans in a single thread
+    according to the global temporal ordering").
+
+    Yields:
+        ``(stream_name, element)`` pairs in global ``t_S`` order.
+    """
+    heap: List[Tuple[Time, int, int, str, StreamElement]] = []
+    iterators = []
+    for index, (name, stream) in enumerate(streams):
+        iterator = iter(stream)
+        iterators.append((name, iterator))
+        first = next(iterator, None)
+        if first is not None:
+            heap.append((first.start, index, 0, name, first))
+    heapq.heapify(heap)
+    sequence = len(streams)
+    while heap:
+        _, index, _, name, element = heapq.heappop(heap)
+        yield name, element
+        following = next(iterators[index][1], None)
+        if following is not None:
+            sequence += 1
+            heapq.heappush(heap, (following.start, index, sequence, name, following))

@@ -1,0 +1,134 @@
+"""Half-open validity intervals ``[t_S, t_E)`` over application time.
+
+Every element of a physical stream carries such an interval (Definition 3 of
+the paper).  The interval denotes the contiguous set of time instants —
+*snapshots* — at which the element's payload is valid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+from .time import MAX_TIME, Time, validate_time
+
+
+@dataclass(frozen=True, slots=True)
+class TimeInterval:
+    """A half-open application-time interval ``[start, end)``.
+
+    Attributes:
+        start: inclusive start timestamp ``t_S``.
+        end: exclusive end timestamp ``t_E``; must satisfy ``end > start``.
+    """
+
+    start: Time
+    end: Time
+
+    def __post_init__(self) -> None:
+        validate_time(self.start)
+        validate_time(self.end)
+        if self.end <= self.start:
+            raise ValueError(f"empty or inverted interval [{self.start}, {self.end})")
+
+    # ------------------------------------------------------------------ #
+    # Predicates
+    # ------------------------------------------------------------------ #
+
+    def contains(self, t: Time) -> bool:
+        """Return ``True`` if time instant ``t`` lies inside the interval."""
+        return self.start <= t < self.end
+
+    def overlaps(self, other: "TimeInterval") -> bool:
+        """Return ``True`` if the two intervals share at least one instant."""
+        return self.start < other.end and other.start < self.end
+
+    def is_adjacent_to(self, other: "TimeInterval") -> bool:
+        """Return ``True`` if the intervals touch without overlapping."""
+        return self.end == other.start or other.end == self.start
+
+    def precedes(self, other: "TimeInterval") -> bool:
+        """Return ``True`` if this interval ends before ``other`` starts."""
+        return self.end <= other.start
+
+    @property
+    def length(self) -> Time:
+        """The number of time units covered by the interval."""
+        return self.end - self.start
+
+    @property
+    def is_unbounded(self) -> bool:
+        """Return ``True`` if the interval never expires."""
+        return self.end >= MAX_TIME
+
+    # ------------------------------------------------------------------ #
+    # Combinators
+    # ------------------------------------------------------------------ #
+
+    def intersect(self, other: "TimeInterval") -> Optional["TimeInterval"]:
+        """Return the intersection with ``other``, or ``None`` if disjoint.
+
+        The snapshot-reducible join assigns exactly this intersection to its
+        results (Section 2.2 of the paper).
+        """
+        start = max(self.start, other.start)
+        end = min(self.end, other.end)
+        if start < end:
+            return TimeInterval(start, end)
+        return None
+
+    def merge(self, other: "TimeInterval") -> "TimeInterval":
+        """Return the union of two overlapping or adjacent intervals.
+
+        Raises:
+            ValueError: if the intervals are neither overlapping nor adjacent,
+                since their union would not be a single interval.
+        """
+        if not (self.overlaps(other) or self.is_adjacent_to(other)):
+            raise ValueError(f"cannot merge disjoint intervals {self} and {other}")
+        return TimeInterval(min(self.start, other.start), max(self.end, other.end))
+
+    def split_at(self, t: Time) -> Tuple[Optional["TimeInterval"], Optional["TimeInterval"]]:
+        """Split the interval at time ``t`` into a pair of disjoint parts.
+
+        Returns ``(below, at_or_above)`` where ``below`` covers all instants
+        strictly before ``t`` and ``at_or_above`` the rest.  Either side is
+        ``None`` when empty.  This is the core of the Split operator
+        (Algorithm 2 of the paper).
+        """
+        if t <= self.start:
+            return None, self
+        if t >= self.end:
+            return self, None
+        return TimeInterval(self.start, t), TimeInterval(t, self.end)
+
+    def shift(self, delta: Time) -> "TimeInterval":
+        """Return the interval translated by ``delta`` time units."""
+        return TimeInterval(self.start + delta, self.end + delta)
+
+    def extend(self, window: Time) -> "TimeInterval":
+        """Return the interval with its end extended by ``window`` units.
+
+        This is the effect of a time-based sliding window operator on a
+        single-instant element.
+        """
+        if window < 0:
+            raise ValueError(f"window extension must be non-negative, got {window}")
+        return TimeInterval(self.start, self.end + window)
+
+    def instants(self) -> Iterator[int]:
+        """Iterate over the integer time instants covered by the interval.
+
+        Only valid for bounded intervals with integer endpoints; used by the
+        snapshot-based reference checker in the tests, never on the hot path.
+        """
+        if self.is_unbounded:
+            raise ValueError("cannot enumerate instants of an unbounded interval")
+        start = int(self.start) if self.start == int(self.start) else int(self.start) + 1
+        t = start
+        while t < self.end:
+            yield t
+            t += 1
+
+    def __str__(self) -> str:
+        return f"[{self.start}, {self.end})"

@@ -1,0 +1,56 @@
+"""Application-time domain for snapshot-equivalent stream processing.
+
+The paper models time as a discrete domain ``T = (T, <=)`` with a total
+order; for simplicity it takes the non-negative integers.  We follow suit:
+regular timestamps are Python ``int`` chronons.
+
+One refinement is needed for the split time of a migration (Remark 3 in the
+paper): ``T_split`` must be expressible at a *finer* granularity so that it
+never collides with a start or end timestamp of any stream element.  We
+realise this with :data:`EPSILON`, half a chronon represented exactly as a
+:class:`fractions.Fraction`.  Mixed ``int``/``Fraction`` comparisons are
+exact in Python, so the rest of the engine can stay on plain integers.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Union
+
+#: A point in application time.  Regular stream timestamps are ``int``;
+#: migration split times may carry a fractional (sub-chronon) part.
+Time = Union[int, Fraction]
+
+#: The smallest representable step of application time for regular elements.
+CHRONON: int = 1
+
+#: A sub-chronon offset used to place ``T_split`` strictly between two
+#: integer time instants (Remark 3 of the paper).
+EPSILON: Fraction = Fraction(1, 2)
+
+#: The origin of the application-time domain.
+MIN_TIME: int = 0
+
+#: A sentinel "infinitely late" timestamp, used for intervals that never
+#: expire (e.g. elements of an unwindowed stream) and for end-of-stream
+#: heartbeats.  Any finite timestamp compares strictly below it.
+MAX_TIME: int = 2**62
+
+
+def is_finite(t: Time) -> bool:
+    """Return ``True`` for a timestamp inside the application-time domain."""
+    return MIN_TIME <= t < MAX_TIME
+
+
+def validate_time(t: Time) -> Time:
+    """Validate ``t`` as an application timestamp and return it.
+
+    Raises:
+        TypeError: if ``t`` is not an ``int`` or ``Fraction``.
+        ValueError: if ``t`` lies before the time origin.
+    """
+    if not isinstance(t, (int, Fraction)) or isinstance(t, bool):
+        raise TypeError(f"timestamp must be int or Fraction, got {type(t).__name__}")
+    if t < MIN_TIME:
+        raise ValueError(f"timestamp {t} precedes the time origin {MIN_TIME}")
+    return t

@@ -1,0 +1,98 @@
+"""Tests for the Moving States baseline."""
+
+import pytest
+
+from helpers import run_query
+from repro.core import MovingStates, UnsupportedPlanError
+from repro.operators import CostMeter
+from repro.temporal import first_divergence
+from scenarios import (
+    distinct_over_join_box,
+    join_over_distinct_box,
+    left_deep_join_box,
+    right_deep_join_box,
+    three_random_streams,
+    two_random_streams,
+)
+
+W3 = {"A": 60, "B": 60, "C": 60}
+
+
+class TestJoinReordering:
+    def test_correct_for_join_reordering(self):
+        streams = three_random_streams()
+        base, _ = run_query(streams, W3, left_deep_join_box())
+        out, executor = run_query(
+            streams, W3, left_deep_join_box(),
+            migrate_at=150, new_box=right_deep_join_box(),
+            strategy=MovingStates(),
+        )
+        assert first_divergence(base, out) is None
+        assert executor.gate.order_violations == 0
+
+    def test_reverse_direction(self):
+        streams = three_random_streams(seed=8)
+        base, _ = run_query(streams, W3, right_deep_join_box())
+        out, _ = run_query(
+            streams, W3, right_deep_join_box(),
+            migrate_at=150, new_box=left_deep_join_box(),
+            strategy=MovingStates(),
+        )
+        assert first_divergence(base, out) is None
+
+    def test_migration_is_instant_in_application_time(self):
+        streams = three_random_streams()
+        _, executor = run_query(
+            streams, W3, left_deep_join_box(),
+            migrate_at=150, new_box=right_deep_join_box(),
+            strategy=MovingStates(),
+        )
+        assert executor.migration_log[0].duration == 0
+
+    def test_seeding_work_accounted(self):
+        """MS pays a burst of state recomputation — the cost GenMig avoids."""
+        streams = three_random_streams()
+        meter = CostMeter()
+        _, executor = run_query(
+            streams, W3, left_deep_join_box(),
+            migrate_at=150, new_box=right_deep_join_box(),
+            strategy=MovingStates(), meter=meter,
+        )
+        report = executor.migration_log[0]
+        assert report.extra["seeded_elements"] > 0
+        assert report.extra["seeding_cost"] > 0
+        assert meter.by_category.get("ms-seed", 0) == report.extra["seeding_cost"]
+
+    def test_new_box_state_populated_at_switch(self):
+        streams = three_random_streams()
+        new_box = right_deep_join_box()
+        snapshot_size = {}
+        from repro.engine import QueryExecutor
+        from repro.streams import CollectorSink
+
+        executor = QueryExecutor(streams, W3, left_deep_join_box())
+        executor.add_sink(CollectorSink())
+        executor.schedule_migration(150, new_box, MovingStates())
+        executor.schedule(152, lambda: snapshot_size.update(n=new_box.state_value_count()))
+        executor.run()
+        assert snapshot_size["n"] > 0
+
+
+class TestScopeRestriction:
+    def test_refuses_distinct_plans(self):
+        with pytest.raises(UnsupportedPlanError):
+            run_query(
+                two_random_streams(), {"A": 50, "B": 50}, distinct_over_join_box(),
+                migrate_at=100, new_box=join_over_distinct_box(),
+                strategy=MovingStates(),
+            )
+
+    def test_refuses_non_join_entry_points(self):
+        from scenarios import difference_box, difference_filtered_box
+
+        with pytest.raises(UnsupportedPlanError):
+            run_query(
+                two_random_streams(), {"A": 50, "B": 50}, difference_box(),
+                migrate_at=100, new_box=difference_filtered_box(100),
+                strategy=MovingStates(),
+            )

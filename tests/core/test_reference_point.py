@@ -1,0 +1,118 @@
+"""Tests for the reference-point optimization (Section 4.5, Opt. 1)."""
+
+import pytest
+
+from helpers import run_query
+from repro.core import GenMig, ReferencePointGenMig, UnsupportedPlanError
+from repro.operators import CostMeter
+from repro.temporal import first_divergence
+from scenarios import (
+    aggregate_all_box,
+    aggregate_filtered_box,
+    distinct_over_join_box,
+    join_over_distinct_box,
+    left_deep_join_box,
+    right_deep_join_box,
+    three_random_streams,
+    two_random_streams,
+)
+
+W3 = {"A": 60, "B": 60, "C": 60}
+
+
+class TestJoinReordering:
+    def test_correct_for_join_reordering(self):
+        streams = three_random_streams()
+        base, _ = run_query(streams, W3, left_deep_join_box())
+        out, executor = run_query(
+            streams, W3, left_deep_join_box(),
+            migrate_at=150, new_box=right_deep_join_box(),
+            strategy=ReferencePointGenMig(),
+        )
+        assert first_divergence(base, out) is None
+        assert executor.gate.order_violations == 0
+
+    def test_same_duration_as_coalesce_variant(self):
+        streams = three_random_streams()
+
+        def report(strategy):
+            _, executor = run_query(
+                streams, W3, left_deep_join_box(),
+                migrate_at=150, new_box=right_deep_join_box(), strategy=strategy,
+            )
+            return executor.migration_log[0]
+
+        assert report(ReferencePointGenMig()).duration == report(GenMig()).duration
+
+    def test_drops_results_at_exactly_t_split(self):
+        streams = three_random_streams()
+        _, executor = run_query(
+            streams, W3, left_deep_join_box(),
+            migrate_at=150, new_box=right_deep_join_box(),
+            strategy=ReferencePointGenMig(),
+        )
+        report = executor.migration_log[0]
+        assert report.extra["dropped_at_split"] > 0
+
+    def test_start_preserving_old_box_never_violates(self):
+        streams = three_random_streams()
+        _, executor = run_query(
+            streams, W3, left_deep_join_box(),
+            migrate_at=150, new_box=right_deep_join_box(),
+            strategy=ReferencePointGenMig(),
+        )
+        assert executor.migration_log[0].extra["old_start_violations"] == 0
+
+    def test_cheaper_than_coalesce_variant(self):
+        """Optimization 1 saves the coalesce operator's CPU (Figure 6)."""
+        streams = three_random_streams()
+
+        def cost(strategy):
+            meter = CostMeter()
+            run_query(
+                streams, W3, left_deep_join_box(),
+                migrate_at=150, new_box=right_deep_join_box(),
+                strategy=strategy, meter=meter,
+            )
+            return meter.by_category.get("coalesce", 0)
+
+        assert cost(ReferencePointGenMig()) == 0
+        assert cost(GenMig()) > 0
+
+
+class TestScopeRestriction:
+    def test_refuses_distinct_plans(self):
+        with pytest.raises(UnsupportedPlanError):
+            run_query(
+                two_random_streams(), {"A": 50, "B": 50}, distinct_over_join_box(),
+                migrate_at=100, new_box=join_over_distinct_box(),
+                strategy=ReferencePointGenMig(),
+            )
+
+    def test_refuses_aggregation_plans(self):
+        with pytest.raises(UnsupportedPlanError):
+            run_query(
+                two_random_streams(), {"A": 50, "B": 50}, aggregate_all_box(),
+                migrate_at=100, new_box=aggregate_filtered_box(100),
+                strategy=ReferencePointGenMig(),
+            )
+
+    def test_force_runs_anyway_and_audits_violations(self):
+        """Forcing RP onto a non-start-preserving plan demonstrates why the
+        restriction exists: the old box emits results starting at or after
+        T_split, which the method would double-count."""
+        streams = two_random_streams(seed=29)
+        _, executor = run_query(
+            streams, {"A": 50, "B": 50}, distinct_over_join_box(),
+            migrate_at=100, new_box=join_over_distinct_box(),
+            strategy=ReferencePointGenMig(force=True),
+        )
+        report = executor.migration_log[0]
+        assert report.extra["old_start_violations"] > 0
+
+    def test_coalesce_variant_has_no_such_restriction(self):
+        out, executor = run_query(
+            two_random_streams(), {"A": 50, "B": 50}, distinct_over_join_box(),
+            migrate_at=100, new_box=join_over_distinct_box(), strategy=GenMig(),
+        )
+        assert len(executor.migration_log) == 1

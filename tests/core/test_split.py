@@ -1,0 +1,117 @@
+"""Tests for the Split operator (Algorithm 2)."""
+
+from fractions import Fraction
+
+from repro.core import ReferencePointSplit, Split
+from repro.operators import Select
+from repro.streams import CollectorSink
+from repro.temporal import EPSILON, element, snapshot_equivalent
+from repro.temporal.time import MAX_TIME
+
+T_SPLIT = 100 + EPSILON
+
+
+def make_split(cls=Split):
+    split = cls(T_SPLIT)
+    old_sink, new_sink = CollectorSink("old"), CollectorSink("new")
+    old_op, new_op = Select(lambda p: True), Select(lambda p: True)
+    old_op.attach_sink(old_sink)
+    new_op.attach_sink(new_sink)
+    split.connect_old(old_op, 0)
+    split.connect_new(new_op, 0)
+    return split, old_sink, new_sink, old_op, new_op
+
+
+class TestRouting:
+    def test_fully_below_goes_old_only(self):
+        split, old, new, *_ = make_split()
+        split.process(element("a", 0, 50))
+        assert [e.payload for e in old.elements] == [("a",)]
+        assert new.elements == []
+
+    def test_fully_above_goes_new_only(self):
+        split, old, new, *_ = make_split()
+        split.process(element("a", 101, 150))
+        assert old.elements == []
+        assert [e.payload for e in new.elements] == [("a",)]
+
+    def test_straddling_element_split_cleanly(self):
+        split, old, new, *_ = make_split()
+        split.process(element("a", 50, 150))
+        assert old.elements[0].interval.end == T_SPLIT
+        assert new.elements[0].interval.start == T_SPLIT
+        # The two parts are snapshot-equivalent to the original.
+        assert snapshot_equivalent(
+            [element("a", 50, 150)], old.elements + new.elements
+        )
+
+    def test_t_split_never_collides_with_timestamps(self):
+        """Remark 3: integer-stamped inputs are never cut ambiguously."""
+        split, old, new, *_ = make_split()
+        split.process(element("a", 100, 101))  # instants: just 100 < T_split
+        assert len(old.elements) == 1
+        assert new.elements == []
+
+    def test_flags_preserved(self):
+        from repro.temporal import OLD
+
+        split, old, new, *_ = make_split()
+        split.process(element("a", 50, 150).with_flag(OLD))
+        assert old.elements[0].flag == OLD
+        assert new.elements[0].flag == OLD
+
+
+class TestWatermarkPromises:
+    def test_old_side_follows_raw_watermark(self):
+        split, _, _, old_op, _ = make_split()
+        split.process_heartbeat(42)
+        assert old_op.min_watermark == 42
+
+    def test_new_side_promised_t_split_immediately(self):
+        """This is what lets the new box emit during migration."""
+        split, _, _, _, new_op = make_split()
+        split.process_heartbeat(5)
+        assert new_op.min_watermark == T_SPLIT
+
+    def test_old_side_receives_end_of_stream_when_input_passes_t_split(self):
+        """Algorithm 1 line 11, realised per input."""
+        split, _, _, old_op, _ = make_split()
+        split.process_heartbeat(101)
+        assert old_op.min_watermark == MAX_TIME
+
+    def test_new_side_follows_raw_watermark_after_t_split(self):
+        split, _, _, _, new_op = make_split()
+        split.process_heartbeat(150)
+        assert new_op.min_watermark == 150
+
+    def test_element_processing_advances_watermarks(self):
+        split, _, _, old_op, new_op = make_split()
+        split.process(element("a", 42, 80))
+        assert old_op.min_watermark == 42
+        assert new_op.min_watermark == T_SPLIT
+
+    def test_watermarks_never_regress(self):
+        split, _, _, old_op, _ = make_split()
+        split.process_heartbeat(50)
+        split.process_heartbeat(30)
+        assert old_op.min_watermark == 50
+
+
+class TestReferencePointSplit:
+    def test_old_side_receives_full_intervals(self):
+        split, old, new, *_ = make_split(ReferencePointSplit)
+        split.process(element("a", 50, 150))
+        assert old.elements[0].interval.end == 150
+        assert new.elements[0].interval.start == T_SPLIT
+
+    def test_post_split_elements_skip_old_side(self):
+        split, old, new, *_ = make_split(ReferencePointSplit)
+        split.process(element("a", 101, 150))
+        assert old.elements == []
+        assert len(new.elements) == 1
+
+    def test_below_split_elements_not_duplicated_to_new(self):
+        split, old, new, *_ = make_split(ReferencePointSplit)
+        split.process(element("a", 0, 50))
+        assert len(old.elements) == 1
+        assert new.elements == []

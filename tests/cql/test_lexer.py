@@ -1,0 +1,67 @@
+"""Tests for the CQL tokenizer."""
+
+import pytest
+
+from repro.cql import CQLSyntaxError, tokenize
+
+
+def kinds(text):
+    return [(t.kind, t.value) for t in tokenize(text) if t.kind != "EOF"]
+
+
+class TestTokenKinds:
+    def test_keywords_case_insensitive(self):
+        assert kinds("select FROM Where")[0] == ("KEYWORD", "SELECT")
+        assert kinds("select FROM Where")[1] == ("KEYWORD", "FROM")
+        assert kinds("select FROM Where")[2] == ("KEYWORD", "WHERE")
+
+    def test_identifiers_keep_case(self):
+        assert kinds("bids")[0] == ("IDENT", "bids")
+        assert kinds("My_Stream2")[0] == ("IDENT", "My_Stream2")
+
+    def test_numbers(self):
+        assert kinds("42")[0] == ("NUMBER", "42")
+        assert kinds("3.5")[0] == ("NUMBER", "3.5")
+
+    def test_qualified_name_is_three_tokens(self):
+        assert kinds("s.price") == [
+            ("IDENT", "s"),
+            ("SYMBOL", "."),
+            ("IDENT", "price"),
+        ]
+
+    def test_number_then_qualifier_dot(self):
+        # "1.x" is not a decimal: 1 . x
+        assert [k for k, _ in kinds("1.x")] == ["NUMBER", "SYMBOL", "IDENT"]
+
+    def test_strings(self):
+        assert kinds("'hello world'")[0] == ("STRING", "hello world")
+
+    def test_unterminated_string(self):
+        with pytest.raises(CQLSyntaxError):
+            tokenize("'oops")
+
+    def test_symbols(self):
+        assert [v for _, v in kinds("<= >= != = < > ( ) [ ] , * + - / %")] == [
+            "<=", ">=", "!=", "=", "<", ">", "(", ")", "[", "]", ",", "*",
+            "+", "-", "/", "%",
+        ]
+
+    def test_sql_style_inequality_normalised(self):
+        assert kinds("<>")[0] == ("SYMBOL", "!=")
+
+    def test_comments_skipped(self):
+        tokens = kinds("SELECT -- a comment\n x")
+        assert [v for _, v in tokens] == ["SELECT", "x"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(CQLSyntaxError):
+            tokenize("SELECT @")
+
+    def test_error_reports_position(self):
+        with pytest.raises(CQLSyntaxError) as err:
+            tokenize("SELECT\n  @")
+        assert "line 2" in str(err.value)
+
+    def test_eof_token_terminates(self):
+        assert tokenize("x")[-1].kind == "EOF"

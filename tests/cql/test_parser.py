@@ -1,0 +1,148 @@
+"""Tests for the CQL parser."""
+
+import pytest
+
+from repro.cql import CQLSyntaxError, parse
+from repro.cql.ast import (
+    AggregateCall,
+    BinaryOp,
+    ColumnRef,
+    NumberLiteral,
+    UnaryOp,
+)
+
+
+class TestSelectList:
+    def test_star(self):
+        statement = parse("SELECT * FROM s [RANGE 10]")
+        assert statement.items is None
+
+    def test_columns_with_aliases(self):
+        statement = parse("SELECT a, s.b AS bee FROM s [RANGE 10]")
+        assert statement.items[0].expression == ColumnRef(None, "a")
+        assert statement.items[1].expression == ColumnRef("s", "b")
+        assert statement.items[1].alias == "bee"
+
+    def test_distinct_flag(self):
+        assert parse("SELECT DISTINCT a FROM s [RANGE 1]").distinct
+        assert not parse("SELECT a FROM s [RANGE 1]").distinct
+
+    def test_arithmetic_expression(self):
+        statement = parse("SELECT a + b * 2 FROM s [RANGE 1]")
+        expr = statement.items[0].expression
+        assert isinstance(expr, BinaryOp) and expr.op == "+"
+        assert isinstance(expr.right, BinaryOp) and expr.right.op == "*"
+
+    def test_aggregates(self):
+        statement = parse("SELECT COUNT(*), SUM(a), AVG(s.b) FROM s [RANGE 1]")
+        calls = [item.expression for item in statement.items]
+        assert calls[0] == AggregateCall("count", None)
+        assert calls[1] == AggregateCall("sum", ColumnRef(None, "a"))
+        assert calls[2] == AggregateCall("avg", ColumnRef("s", "b"))
+
+    def test_star_only_valid_for_count(self):
+        with pytest.raises(CQLSyntaxError):
+            parse("SELECT SUM(*) FROM s [RANGE 1]")
+
+
+class TestFromClause:
+    def test_window_units(self):
+        statement = parse(
+            "SELECT * FROM a [RANGE 10 SECONDS], b [RANGE 2 MINUTES], "
+            "c [RANGE 500 MILLISECONDS], d [RANGE 1 HOURS]",
+            time_scale=1000,
+        )
+        sizes = [item.window.size for item in statement.from_items]
+        assert sizes == [10_000, 120_000, 500, 3_600_000]
+
+    def test_unitless_range_is_chronons(self):
+        statement = parse("SELECT * FROM s [RANGE 42]")
+        assert statement.from_items[0].window.size == 42
+
+    def test_now_and_unbounded(self):
+        statement = parse("SELECT * FROM a [NOW], b [UNBOUNDED]")
+        assert statement.from_items[0].window.kind == "now"
+        assert statement.from_items[1].window.kind == "unbounded"
+
+    def test_rows_window(self):
+        statement = parse("SELECT * FROM s [ROWS 100]")
+        assert statement.from_items[0].window == parse(
+            "SELECT * FROM s [ROWS 100]"
+        ).from_items[0].window
+        assert statement.from_items[0].window.kind == "rows"
+        assert statement.from_items[0].window.size == 100
+
+    def test_aliases_with_and_without_as(self):
+        statement = parse("SELECT * FROM bids [RANGE 1] AS b, sales [RANGE 1] s")
+        assert statement.from_items[0].binding == "b"
+        assert statement.from_items[1].binding == "s"
+
+    def test_binding_defaults_to_stream_name(self):
+        assert parse("SELECT * FROM bids [RANGE 1]").from_items[0].binding == "bids"
+
+    def test_missing_window_allowed_at_parse_time(self):
+        assert parse("SELECT * FROM bids").from_items[0].window is None
+
+    def test_fractional_range(self):
+        statement = parse("SELECT * FROM s [RANGE 0.5 SECONDS]", time_scale=1000)
+        assert statement.from_items[0].window.size == 500
+
+
+class TestWhereClause:
+    def test_precedence_or_under_and(self):
+        statement = parse("SELECT * FROM s [RANGE 1] WHERE a = 1 OR b = 2 AND c = 3")
+        expr = statement.where
+        assert expr.op == "OR"
+        assert expr.right.op == "AND"
+
+    def test_parentheses_override(self):
+        statement = parse("SELECT * FROM s [RANGE 1] WHERE (a = 1 OR b = 2) AND c = 3")
+        assert statement.where.op == "AND"
+
+    def test_not(self):
+        statement = parse("SELECT * FROM s [RANGE 1] WHERE NOT a = 1")
+        assert isinstance(statement.where, UnaryOp)
+        assert statement.where.op == "NOT"
+
+    def test_comparison_chain_of_arithmetic(self):
+        statement = parse("SELECT * FROM s [RANGE 1] WHERE a + 1 < b * 2")
+        assert statement.where.op == "<"
+
+    def test_unary_minus(self):
+        statement = parse("SELECT * FROM s [RANGE 1] WHERE a > -5")
+        right = statement.where.right
+        assert isinstance(right, UnaryOp) and right.op == "-"
+
+    def test_string_literal(self):
+        statement = parse("SELECT * FROM s [RANGE 1] WHERE name = 'alice'")
+        assert statement.where.right.value == "alice"
+
+
+class TestGroupBy:
+    def test_group_by_columns(self):
+        statement = parse(
+            "SELECT a, COUNT(*) FROM s [RANGE 1] GROUP BY a, s.b"
+        )
+        assert statement.group_by == [ColumnRef(None, "a"), ColumnRef("s", "b")]
+
+    def test_group_requires_by(self):
+        with pytest.raises(CQLSyntaxError):
+            parse("SELECT a FROM s [RANGE 1] GROUP a")
+
+
+class TestErrors:
+    def test_missing_from(self):
+        with pytest.raises(CQLSyntaxError):
+            parse("SELECT a")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(CQLSyntaxError):
+            parse("SELECT a FROM s [RANGE 1] extra stuff ( )")
+
+    def test_unbalanced_parens(self):
+        with pytest.raises(CQLSyntaxError):
+            parse("SELECT a FROM s [RANGE 1] WHERE (a = 1")
+
+    def test_missing_window_bracket(self):
+        with pytest.raises(CQLSyntaxError):
+            parse("SELECT a FROM s [RANGE 1 WHERE a = 1")

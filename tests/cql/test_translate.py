@@ -1,0 +1,247 @@
+"""Tests for CQL-to-logical-plan translation."""
+
+import pytest
+
+from helpers import run_query
+from repro.cql import Catalog, TranslationError, compile_query
+from repro.plans import (
+    AggregateNode,
+    DistinctNode,
+    JoinNode,
+    PhysicalBuilder,
+    ProjectNode,
+    SelectNode,
+)
+from repro.streams import timestamped_stream
+from repro.temporal import Multiset, snapshot
+
+
+@pytest.fixture
+def catalog():
+    return Catalog(
+        {
+            "bids": ("item", "price"),
+            "sales": ("item", "amount"),
+            "ads": ("item", "ctr"),
+        }
+    )
+
+
+class TestCatalog:
+    def test_register_and_lookup(self, catalog):
+        assert catalog.columns("bids") == ("item", "price")
+        assert "bids" in catalog
+
+    def test_unknown_stream(self, catalog):
+        with pytest.raises(TranslationError):
+            catalog.columns("nope")
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(ValueError):
+            Catalog({"s": ()})
+
+
+class TestWindows:
+    def test_range_window_translated(self, catalog):
+        query = compile_query("SELECT * FROM bids [RANGE 10 SECONDS]", catalog)
+        assert query.windows == {"bids": 10_000}
+
+    def test_now_window_is_zero(self, catalog):
+        query = compile_query("SELECT * FROM bids [NOW]", catalog)
+        assert query.windows == {"bids": 0}
+
+    def test_missing_window_rejected_without_default(self, catalog):
+        with pytest.raises(TranslationError):
+            compile_query("SELECT * FROM bids", catalog)
+
+    def test_default_window_applies(self, catalog):
+        query = compile_query("SELECT * FROM bids", catalog, default_window=500)
+        assert query.windows == {"bids": 500}
+
+    def test_rows_window_rejected_at_translation(self, catalog):
+        with pytest.raises(TranslationError):
+            compile_query("SELECT * FROM bids [ROWS 10]", catalog)
+
+
+class TestPlanShapes:
+    def test_select_star_is_bare_source(self, catalog):
+        query = compile_query("SELECT * FROM bids [RANGE 1]", catalog)
+        assert query.plan.signature() == "bids"
+
+    def test_single_source_predicate_pushed(self, catalog):
+        query = compile_query(
+            "SELECT * FROM bids [RANGE 1] b WHERE b.price > 10", catalog
+        )
+        assert isinstance(query.plan, SelectNode)
+
+    def test_equi_join_built_from_where(self, catalog):
+        query = compile_query(
+            "SELECT * FROM bids [RANGE 1] b, sales [RANGE 1] s "
+            "WHERE b.item = s.item",
+            catalog,
+        )
+        assert isinstance(query.plan, JoinNode)
+        assert query.plan.equi_columns() == ("b.item", "s.item")
+
+    def test_three_way_left_deep_in_from_order(self, catalog):
+        query = compile_query(
+            "SELECT * FROM bids [RANGE 1] b, sales [RANGE 1] s, ads [RANGE 1] a "
+            "WHERE b.item = s.item AND s.item = a.item",
+            catalog,
+        )
+        assert query.plan.sources() == ("b", "s", "a")
+        assert isinstance(query.plan, JoinNode)
+        assert isinstance(query.plan.left, JoinNode)
+
+    def test_distinct_at_top(self, catalog):
+        query = compile_query("SELECT DISTINCT item FROM bids [RANGE 1]", catalog)
+        assert isinstance(query.plan, DistinctNode)
+
+    def test_projection_names(self, catalog):
+        query = compile_query(
+            "SELECT item, price AS p FROM bids [RANGE 1]", catalog
+        )
+        assert query.plan.schema == ("item", "p")
+
+    def test_aggregation_with_group_by(self, catalog):
+        query = compile_query(
+            "SELECT item, COUNT(*) AS n FROM bids [RANGE 1] GROUP BY item",
+            catalog,
+        )
+        # Output names follow the SELECT list spelling (bare column ref).
+        assert query.plan.schema == ("item", "n")
+
+    def test_plain_aggregate_without_projection_wrapper(self, catalog):
+        query = compile_query(
+            "SELECT COUNT(*) FROM bids [RANGE 1]", catalog
+        )
+        assert isinstance(query.plan, AggregateNode)
+
+
+class TestColumnResolution:
+    def test_bare_column_unique_match(self, catalog):
+        query = compile_query("SELECT price FROM bids [RANGE 1]", catalog)
+        assert query.plan.schema == ("price",)
+
+    def test_ambiguous_bare_column_rejected(self, catalog):
+        with pytest.raises(TranslationError):
+            compile_query(
+                "SELECT item FROM bids [RANGE 1] b, sales [RANGE 1] s "
+                "WHERE b.item = s.item",
+                catalog,
+            )
+
+    def test_unknown_column_rejected(self, catalog):
+        with pytest.raises(TranslationError):
+            compile_query("SELECT nope FROM bids [RANGE 1]", catalog)
+
+    def test_unknown_qualifier_rejected(self, catalog):
+        with pytest.raises(TranslationError):
+            compile_query("SELECT x.item FROM bids [RANGE 1]", catalog)
+
+    def test_duplicate_binding_rejected(self, catalog):
+        with pytest.raises(TranslationError):
+            compile_query(
+                "SELECT * FROM bids [RANGE 1] x, sales [RANGE 1] x", catalog
+            )
+
+    def test_selected_column_must_be_grouped(self, catalog):
+        with pytest.raises(TranslationError):
+            compile_query(
+                "SELECT price, COUNT(*) FROM bids [RANGE 1] GROUP BY item",
+                catalog,
+            )
+
+    def test_aggregate_in_where_rejected(self, catalog):
+        with pytest.raises(TranslationError):
+            compile_query(
+                "SELECT item FROM bids [RANGE 1] WHERE COUNT(*) > 1", catalog
+            )
+
+
+class TestExecution:
+    def test_compiled_query_runs(self, catalog):
+        query = compile_query(
+            "SELECT DISTINCT b.item FROM bids [RANGE 20] b WHERE b.price >= 100",
+            catalog,
+        )
+        stream = timestamped_stream(
+            [(("pen", 150), 0), (("mug", 50), 5), (("pen", 200), 8)]
+        )
+        out, _ = run_query({"b": stream}, query.windows, PhysicalBuilder().build(query.plan))
+        assert snapshot(out, 10) == Multiset([("pen",)])
+
+    def test_join_query_runs(self, catalog):
+        query = compile_query(
+            "SELECT b.item, s.amount FROM bids [RANGE 50] b, sales [RANGE 50] s "
+            "WHERE b.item = s.item AND b.price > 10",
+            catalog,
+        )
+        bids = timestamped_stream([(("pen", 100), 0), (("mug", 5), 1)])
+        sales = timestamped_stream([(("pen", 3), 10), (("mug", 9), 11)])
+        out, _ = run_query(
+            {"b": bids, "s": sales}, query.windows, PhysicalBuilder().build(query.plan)
+        )
+        assert [e.payload for e in out] == [("pen", 3)]
+
+
+class TestHaving:
+    def test_having_filters_groups(self, catalog):
+        query = compile_query(
+            "SELECT item, COUNT(*) AS n FROM bids [RANGE 100] "
+            "GROUP BY item HAVING COUNT(*) > 2",
+            catalog,
+        )
+        stream = timestamped_stream(
+            [(("pen", 30), 0), (("mug", 9), 2), (("pen", 10), 5), (("pen", 4), 8)]
+        )
+        out, _ = run_query({"bids": stream}, query.windows,
+                           PhysicalBuilder().build(query.plan))
+        assert snapshot(out, 10) == Multiset([("pen", 3)])
+
+    def test_having_aggregate_not_in_select_is_computed_and_projected_away(self, catalog):
+        query = compile_query(
+            "SELECT item FROM bids [RANGE 100] "
+            "GROUP BY item HAVING SUM(price) >= 50",
+            catalog,
+        )
+        assert query.plan.schema == ("item",)
+        stream = timestamped_stream(
+            [(("pen", 30), 0), (("mug", 9), 2), (("pen", 25), 5)]
+        )
+        out, _ = run_query({"bids": stream}, query.windows,
+                           PhysicalBuilder().build(query.plan))
+        assert snapshot(out, 8) == Multiset([("pen",)])
+
+    def test_having_may_reference_grouping_columns(self, catalog):
+        query = compile_query(
+            "SELECT item, COUNT(*) FROM bids [RANGE 100] "
+            "GROUP BY item HAVING item = 'pen'",
+            catalog,
+        )
+        stream = timestamped_stream([(("pen", 1), 0), (("mug", 2), 1)])
+        out, _ = run_query({"bids": stream}, query.windows,
+                           PhysicalBuilder().build(query.plan))
+        assert snapshot(out, 2) == Multiset([("pen", 1)])
+
+    def test_having_without_aggregation_rejected(self, catalog):
+        with pytest.raises(TranslationError):
+            compile_query(
+                "SELECT item FROM bids [RANGE 100] HAVING item = 'pen'", catalog
+            )
+
+    def test_having_non_grouped_column_rejected(self, catalog):
+        with pytest.raises(TranslationError):
+            compile_query(
+                "SELECT item, COUNT(*) FROM bids [RANGE 100] "
+                "GROUP BY item HAVING price > 3",
+                catalog,
+            )
+
+    def test_having_round_trips_through_unparse(self, catalog):
+        from repro.cql import parse, unparse
+
+        text = ("SELECT item, COUNT(*) AS n FROM bids [RANGE 100] "
+                "GROUP BY item HAVING COUNT(*) > 2 AND SUM(price) >= 50")
+        statement = parse(text)
+        assert parse(unparse(statement)) == statement

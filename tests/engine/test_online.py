@@ -1,0 +1,135 @@
+"""Tests for the online (incremental) executor interface."""
+
+import pytest
+
+from repro.core import GenMig
+from repro.engine import Box, QueryExecutor
+from repro.operators import DuplicateElimination, equi_join
+from repro.streams import CollectorSink, timestamped_stream
+from repro.temporal import element, first_divergence
+
+
+def join_box():
+    join = equi_join(0, 0)
+    return Box(taps={"A": [(join, 0)], "B": [(join, 1)]}, root=join)
+
+
+def online_executor():
+    executor = QueryExecutor(
+        {"A": timestamped_stream([]), "B": timestamped_stream([])},
+        {"A": 20, "B": 20},
+        join_box(),
+    )
+    sink = CollectorSink()
+    executor.add_sink(sink)
+    return executor, sink
+
+
+class TestPushAdvanceFinish:
+    def test_online_matches_replayed_run(self):
+        import random
+
+        rng = random.Random(91)
+        events = []
+        for t in range(0, 200, 3):
+            events.append(("A", element(rng.randint(0, 4), t, t + 1)))
+        for t in range(1, 200, 4):
+            events.append(("B", element(rng.randint(0, 4), t, t + 1)))
+        events.sort(key=lambda item: (item[1].start, item[0]))
+
+        streams = {
+            "A": timestamped_stream([]),
+            "B": timestamped_stream([]),
+        }
+        replay_streams = {
+            name: timestamped_stream(
+                [(e.payload, e.start) for n, e in events if n == name]
+            )
+            for name in ("A", "B")
+        }
+        replay = QueryExecutor(replay_streams, {"A": 20, "B": 20}, join_box())
+        replay_sink = CollectorSink()
+        replay.add_sink(replay_sink)
+        replay.run()
+
+        executor, sink = online_executor()
+        for name, e in events:
+            executor.push(name, e)
+        executor.finish()
+        assert first_divergence(replay_sink.elements, sink.elements) is None
+
+    def test_results_flow_while_pushing(self):
+        executor, sink = online_executor()
+        executor.push("A", element("k", 0, 1))
+        executor.push("B", element("k", 1, 2))
+        assert len(sink.elements) == 1  # no need to wait for finish()
+
+    def test_advance_releases_without_data(self):
+        executor, sink = online_executor()
+        executor.push("A", element("k", 0, 1))
+        executor.push("B", element("k", 0, 1))
+        # B stays silent; an explicit promise lets downstream progress.
+        executor.advance("B", 50)
+        assert executor.source_watermarks["B"] == 50
+
+    def test_out_of_global_order_rejected(self):
+        executor, _ = online_executor()
+        executor.push("A", element("k", 10, 11))
+        with pytest.raises(ValueError):
+            executor.push("B", element("k", 5, 6))
+
+    def test_unknown_source_rejected(self):
+        executor, _ = online_executor()
+        with pytest.raises(KeyError):
+            executor.push("Z", element("k", 0, 1))
+        with pytest.raises(KeyError):
+            executor.advance("Z", 10)
+
+    def test_push_after_finish_rejected(self):
+        executor, _ = online_executor()
+        executor.finish()
+        with pytest.raises(RuntimeError):
+            executor.push("A", element("k", 0, 1))
+
+    def test_finish_is_idempotent(self):
+        executor, _ = online_executor()
+        executor.finish()
+        executor.finish()
+
+
+class TestOnlineMigration:
+    def test_migration_during_online_feed(self):
+        def distinct_box():
+            join = equi_join(0, 0)
+            distinct = DuplicateElimination()
+            join.subscribe(distinct, 0)
+            return Box(taps={"A": [(join, 0)], "B": [(join, 1)]}, root=distinct)
+
+        import random
+
+        rng = random.Random(93)
+        events = sorted(
+            [("A", element(rng.randint(0, 3), t, t + 1)) for t in range(0, 300, 3)]
+            + [("B", element(rng.randint(0, 3), t, t + 1)) for t in range(1, 300, 4)],
+            key=lambda item: (item[1].start, item[0]),
+        )
+
+        def run(migrate):
+            executor = QueryExecutor(
+                {"A": timestamped_stream([]), "B": timestamped_stream([])},
+                {"A": 30, "B": 30},
+                distinct_box(),
+            )
+            sink = CollectorSink()
+            executor.add_sink(sink)
+            if migrate:
+                executor.schedule_migration(100, distinct_box(), GenMig())
+            for name, e in events:
+                executor.push(name, e)
+            executor.finish()
+            return sink.elements, executor
+
+        base, _ = run(False)
+        migrated, executor = run(True)
+        assert len(executor.migration_log) == 1
+        assert first_divergence(base, migrated) is None

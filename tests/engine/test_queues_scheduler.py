@@ -1,0 +1,82 @@
+"""Tests for source queues and ingestion schedulers."""
+
+import pytest
+
+from repro.engine import GlobalOrderScheduler, RoundRobinScheduler, SourceQueue
+from repro.temporal import element
+
+
+def queue_of(name, starts):
+    return SourceQueue(name, [element(f"{name}{t}", t, t + 5) for t in starts])
+
+
+class TestSourceQueue:
+    def test_fifo(self):
+        q = queue_of("A", [0, 5])
+        assert q.pop().start == 0
+        assert q.pop().start == 5
+
+    def test_peek_does_not_remove(self):
+        q = queue_of("A", [3])
+        assert q.peek().start == 3
+        assert len(q) == 1
+
+    def test_next_timestamp(self):
+        assert queue_of("A", [7]).next_timestamp == 7
+        assert SourceQueue("A").next_timestamp is None
+
+    def test_push_enforces_order(self):
+        q = queue_of("A", [5])
+        with pytest.raises(ValueError):
+            q.push(element("x", 3, 9))
+
+    def test_truthiness(self):
+        assert queue_of("A", [1])
+        assert not SourceQueue("A")
+
+
+class TestGlobalOrderScheduler:
+    def test_strict_timestamp_order(self):
+        queues = [queue_of("A", [0, 10, 20]), queue_of("B", [5, 15])]
+        order = list(GlobalOrderScheduler().order(queues))
+        starts = [e.start for _, e in order]
+        assert starts == [0, 5, 10, 15, 20]
+
+    def test_ties_broken_by_queue_position(self):
+        queues = [queue_of("A", [5]), queue_of("B", [5])]
+        order = list(GlobalOrderScheduler().order(queues))
+        assert [name for name, _ in order] == ["A", "B"]
+
+    def test_drains_everything(self):
+        queues = [queue_of("A", [0, 1, 2]), queue_of("B", [0, 1])]
+        assert len(list(GlobalOrderScheduler().order(queues))) == 5
+
+    def test_empty_queues(self):
+        assert list(GlobalOrderScheduler().order([SourceQueue("A")])) == []
+
+
+class TestRoundRobinScheduler:
+    def test_serves_in_rounds(self):
+        queues = [queue_of("A", [0, 1, 2]), queue_of("B", [0, 1, 2])]
+        order = [name for name, _ in RoundRobinScheduler(batch=1).order(queues)]
+        assert order == ["A", "B", "A", "B", "A", "B"]
+
+    def test_batching_introduces_bounded_skew(self):
+        queues = [queue_of("A", [0, 1, 2, 3]), queue_of("B", [0, 1, 2, 3])]
+        order = [name for name, _ in RoundRobinScheduler(batch=2).order(queues)]
+        assert order == ["A", "A", "B", "B", "A", "A", "B", "B"]
+
+    def test_per_source_order_preserved(self):
+        queues = [queue_of("A", [0, 5, 9]), queue_of("B", [2, 4])]
+        order = list(RoundRobinScheduler(batch=2).order(queues))
+        for name in ("A", "B"):
+            starts = [e.start for n, e in order if n == name]
+            assert starts == sorted(starts)
+
+    def test_uneven_queues_drain(self):
+        queues = [queue_of("A", [0]), queue_of("B", [0, 1, 2, 3])]
+        assert len(list(RoundRobinScheduler().order(queues))) == 5
+
+    def test_invalid_batch(self):
+        with pytest.raises(ValueError):
+            RoundRobinScheduler(batch=0)

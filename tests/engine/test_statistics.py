@@ -1,0 +1,79 @@
+"""Tests for the runtime statistics collectors."""
+
+import pytest
+
+from repro.engine import RateEstimator, SelectivityEstimator, StatisticsCatalog
+
+
+class TestRateEstimator:
+    def test_zero_before_observations(self):
+        assert RateEstimator().rate == 0.0
+
+    def test_steady_rate_estimated(self):
+        estimator = RateEstimator(half_life=1000)
+        for t in range(0, 10000, 10):  # one arrival per 10 time units
+            estimator.observe(t)
+        assert estimator.rate == pytest.approx(0.1, rel=0.2)
+
+    def test_rate_tracks_increase(self):
+        estimator = RateEstimator(half_life=500)
+        for t in range(0, 5000, 50):
+            estimator.observe(t)
+        slow = estimator.rate
+        for t in range(5000, 10000, 5):
+            estimator.observe(t)
+        assert estimator.rate > slow * 3
+
+    def test_rate_decays_after_silence(self):
+        estimator = RateEstimator(half_life=500)
+        for t in range(0, 2000, 5):
+            estimator.observe(t)
+        busy = estimator.rate
+        estimator.observe(50000)
+        assert estimator.rate < busy / 2
+
+    def test_count_tracks_total(self):
+        estimator = RateEstimator()
+        for t in range(5):
+            estimator.observe(t)
+        assert estimator.count == 5
+
+    def test_invalid_half_life(self):
+        with pytest.raises(ValueError):
+            RateEstimator(half_life=0)
+
+
+class TestSelectivityEstimator:
+    def test_prior_returned_initially(self):
+        assert SelectivityEstimator(prior=0.25).selectivity == pytest.approx(0.25)
+
+    def test_observations_dominate_prior(self):
+        estimator = SelectivityEstimator(prior=0.5, prior_weight=10)
+        estimator.observe(tested=10000, matched=100)
+        assert estimator.selectivity == pytest.approx(0.01, rel=0.1)
+
+    def test_matched_cannot_exceed_tested(self):
+        with pytest.raises(ValueError):
+            SelectivityEstimator().observe(tested=5, matched=6)
+
+    def test_invalid_prior(self):
+        with pytest.raises(ValueError):
+            SelectivityEstimator(prior=1.5)
+
+
+class TestStatisticsCatalog:
+    def test_rate_of_creates_on_demand(self):
+        catalog = StatisticsCatalog()
+        assert catalog.rate_of("A") is catalog.rate_of("A")
+
+    def test_selectivity_of_creates_on_demand(self):
+        catalog = StatisticsCatalog()
+        assert catalog.selectivity_of("p") is catalog.selectivity_of("p")
+
+    def test_snapshot_view(self):
+        catalog = StatisticsCatalog()
+        catalog.rate_of("A").observe(0)
+        catalog.selectivity_of("p").observe(10, 5)
+        view = catalog.snapshot()
+        assert "rate:A" in view
+        assert "sel:p" in view

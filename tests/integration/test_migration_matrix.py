@@ -1,0 +1,120 @@
+"""Integration matrix: every strategy on every plan shape it supports,
+across several seeds and migration times — always snapshot-equivalent to
+the unmigrated run."""
+
+import pytest
+
+from helpers import run_query
+from repro.core import (
+    GenMig,
+    MovingStates,
+    ParallelTrack,
+    ReferencePointGenMig,
+    ShortenedGenMig,
+)
+from repro.temporal import first_divergence
+from scenarios import (
+    aggregate_all_box,
+    aggregate_filtered_box,
+    difference_box,
+    difference_filtered_box,
+    distinct_over_join_box,
+    join_over_distinct_box,
+    left_deep_join_box,
+    right_deep_join_box,
+    three_random_streams,
+    two_random_streams,
+)
+
+JOIN_STRATEGIES = [
+    GenMig,
+    ShortenedGenMig,
+    ReferencePointGenMig,
+    ParallelTrack,
+    MovingStates,
+]
+GENERAL_STRATEGIES = [GenMig, ShortenedGenMig]
+
+
+@pytest.mark.parametrize("strategy_factory", JOIN_STRATEGIES)
+@pytest.mark.parametrize("seed", [3, 10])
+@pytest.mark.parametrize("migrate_at", [80, 220])
+def test_join_reordering_matrix(strategy_factory, seed, migrate_at):
+    streams = three_random_streams(seed=seed)
+    windows = {"A": 60, "B": 60, "C": 60}
+    base, _ = run_query(streams, windows, left_deep_join_box())
+    out, executor = run_query(
+        streams, windows, left_deep_join_box(),
+        migrate_at=migrate_at, new_box=right_deep_join_box(),
+        strategy=strategy_factory(),
+    )
+    assert first_divergence(base, out) is None
+    assert len(executor.migration_log) == 1
+
+
+@pytest.mark.parametrize("strategy_factory", GENERAL_STRATEGIES)
+@pytest.mark.parametrize(
+    "old_factory,new_factory",
+    [
+        (distinct_over_join_box, join_over_distinct_box),
+        (join_over_distinct_box, distinct_over_join_box),
+        (aggregate_all_box, lambda: aggregate_filtered_box(100)),
+        (difference_box, lambda: difference_filtered_box(100)),
+    ],
+    ids=["distinct-down", "distinct-up", "aggregate", "difference"],
+)
+def test_general_plan_matrix(strategy_factory, old_factory, new_factory):
+    streams = two_random_streams(seed=17)
+    windows = {"A": 50, "B": 50}
+    base, _ = run_query(streams, windows, old_factory())
+    out, executor = run_query(
+        streams, windows, old_factory(),
+        migrate_at=130, new_box=new_factory(), strategy=strategy_factory(),
+    )
+    assert first_divergence(base, out) is None
+    assert executor.gate.order_violations == 0
+
+
+@pytest.mark.parametrize("strategy_factory", [GenMig, ShortenedGenMig,
+                                              ReferencePointGenMig])
+def test_back_to_back_migrations(strategy_factory):
+    """Migrate left->right, then right->left again, still equivalent."""
+    streams = three_random_streams(seed=23, length=800)
+    windows = {"A": 50, "B": 50, "C": 50}
+    base, _ = run_query(streams, windows, left_deep_join_box())
+    from repro.engine import QueryExecutor
+    from repro.streams import CollectorSink
+
+    sink = CollectorSink()
+    executor = QueryExecutor(streams, windows, left_deep_join_box())
+    executor.add_sink(sink)
+    executor.schedule_migration(150, right_deep_join_box(), strategy_factory())
+    executor.schedule_migration(450, left_deep_join_box(), strategy_factory())
+    executor.run()
+    assert len(executor.migration_log) == 2
+    assert first_divergence(base, sink.elements) is None
+
+
+def test_migration_triggered_before_any_data():
+    """Monitoring phase handles a trigger at time zero."""
+    streams = two_random_streams(seed=29)
+    windows = {"A": 50, "B": 50}
+    base, _ = run_query(streams, windows, distinct_over_join_box())
+    out, executor = run_query(
+        streams, windows, distinct_over_join_box(),
+        migrate_at=0, new_box=join_over_distinct_box(), strategy=GenMig(),
+    )
+    assert first_divergence(base, out) is None
+
+
+def test_migration_near_stream_end():
+    """Streams end before T_split: end-of-stream completes the migration."""
+    streams = two_random_streams(seed=31, length=200)
+    windows = {"A": 80, "B": 80}
+    base, _ = run_query(streams, windows, distinct_over_join_box())
+    out, executor = run_query(
+        streams, windows, distinct_over_join_box(),
+        migrate_at=190, new_box=join_over_distinct_box(), strategy=GenMig(),
+    )
+    assert first_divergence(base, out) is None
+    assert len(executor.migration_log) == 1

@@ -1,0 +1,156 @@
+"""Scaled-down versions of the paper's Section 5 experiments.
+
+The benchmarks in ``benchmarks/`` regenerate the full figures; these tests
+assert the *qualitative claims* on a smaller workload so they run in the
+regular suite:
+
+* Figure 4 — PT's output rate collapses to zero for the second window of
+  the migration and ends with a burst; GenMig switches smoothly.
+* Figure 5 — PT holds more state than GenMig during the migration.
+* Section 4.4 — durations: GenMig ~w, PT ~2w.
+"""
+
+import pytest
+
+from repro.core import GenMig, ParallelTrack
+from repro.engine import Box, MetricsRecorder, QueryExecutor
+from repro.operators import CostMeter, NestedLoopsJoin
+from repro.streams import CollectorSink, RateSink, uniform_stream
+from repro.temporal import first_divergence
+
+#: Scaled-down Section 5 parameters: 4 streams, equi-join values, w=1s at
+#: millisecond chronons, migration at t=2s, 400 elements per stream.
+WINDOW = 1_000
+RATE = 100.0
+COUNT = 400
+MIGRATE_AT = 2_000
+
+
+def four_streams(seed=42):
+    bounds = {"A": (0, 50), "B": (0, 50), "C": (0, 100), "D": (0, 100)}
+    return {
+        name: uniform_stream(COUNT, low, high, rate=RATE, seed=seed + i, name=name)
+        for i, (name, (low, high)) in enumerate(bounds.items())
+    }
+
+
+def _join(name):
+    return NestedLoopsJoin(lambda l, r: l[0] == r[0], name=name)
+
+
+def left_deep_4way():
+    j1, j2, j3 = _join("AB"), _join("ABC"), _join("ABCD")
+    j1.subscribe(j2, 0)
+    j2.subscribe(j3, 0)
+    return Box(
+        taps={"A": [(j1, 0)], "B": [(j1, 1)], "C": [(j2, 1)], "D": [(j3, 1)]},
+        root=j3, label="left-deep",
+    )
+
+
+def right_deep_4way():
+    j1, j2, j3 = _join("CD"), _join("BCD"), _join("ABCD")
+    j1.subscribe(j2, 1)
+    j2.subscribe(j3, 1)
+    return Box(
+        taps={"A": [(j3, 0)], "B": [(j2, 0)], "C": [(j1, 0)], "D": [(j1, 1)]},
+        root=j3, label="right-deep",
+    )
+
+
+def run(strategy, seed=42):
+    streams = four_streams(seed)
+    metrics = MetricsRecorder(bucket_size=200)
+    executor = QueryExecutor(streams, {n: WINDOW for n in streams}, left_deep_4way(),
+                             metrics=metrics, meter=CostMeter())
+    sink = RateSink(bucket_size=200, clock=lambda: executor.clock)
+    executor.add_sink(sink)
+    if strategy is not None:
+        executor.schedule_migration(MIGRATE_AT, right_deep_4way(), strategy)
+    executor.run()
+    return sink, executor, metrics
+
+
+@pytest.fixture(scope="module")
+def runs():
+    base_sink, _, _ = run(None)
+    genmig_sink, genmig_executor, genmig_metrics = run(GenMig())
+    pt_sink, pt_executor, pt_metrics = run(ParallelTrack(check_interval=20))
+    return {
+        "base": base_sink,
+        "genmig": (genmig_sink, genmig_executor, genmig_metrics),
+        "pt": (pt_sink, pt_executor, pt_metrics),
+    }
+
+
+class TestCorrectness:
+    def test_both_strategies_snapshot_equivalent(self, runs):
+        base = runs["base"].elements
+        assert first_divergence(base, runs["genmig"][0].elements) is None
+        assert first_divergence(base, runs["pt"][0].elements) is None
+
+
+class TestDurations:
+    def test_genmig_takes_about_one_window(self, runs):
+        report = runs["genmig"][1].migration_log[0]
+        assert WINDOW * 0.9 <= report.duration <= WINDOW * 1.2
+
+    def test_pt_takes_about_two_windows(self, runs):
+        report = runs["pt"][1].migration_log[0]
+        assert WINDOW * 1.8 <= report.duration <= WINDOW * 2.3
+
+
+class TestFigure4OutputRate:
+    def test_pt_has_a_silent_second_window(self, runs):
+        """No output between migration start + w and the migration end."""
+        sink, executor, _ = runs["pt"]
+        end = executor.migration_log[0].completed_at
+        silent = [
+            sink.counts.get(bucket, 0)
+            for bucket in range((MIGRATE_AT + WINDOW) // 200 + 1, int(end) // 200)
+        ]
+        assert sum(silent) == 0
+
+    def test_pt_burst_at_migration_end(self, runs):
+        sink, executor, _ = runs["pt"]
+        report = executor.migration_log[0]
+        end_bucket = int(report.completed_at) // 200
+        steady = [
+            count for bucket, count in sink.counts.items()
+            if bucket < MIGRATE_AT // 200
+        ]
+        steady_rate = sum(steady) / max(1, len(steady))
+        assert sink.counts.get(end_bucket, 0) >= report.extra["flushed"]
+        assert sink.counts.get(end_bucket, 0) > 3 * steady_rate
+
+    def test_genmig_keeps_producing_throughout_migration(self, runs):
+        """Smooth output: no empty bucket during the migration window."""
+        sink, executor, _ = runs["genmig"]
+        report = executor.migration_log[0]
+        during = [
+            sink.counts.get(bucket, 0)
+            for bucket in range(MIGRATE_AT // 200, int(report.completed_at) // 200)
+        ]
+        assert all(count > 0 for count in during)
+
+
+class TestFigure5Memory:
+    def test_pt_uses_more_memory_than_genmig_during_migration(self, runs):
+        _, _, genmig_metrics = runs["genmig"]
+        _, pt_executor, pt_metrics = runs["pt"]
+        lo = MIGRATE_AT // 200
+        hi = int(pt_executor.migration_log[0].completed_at) // 200
+        genmig_series = genmig_metrics.memory_usage()
+        pt_series = pt_metrics.memory_usage()
+        genmig_peak = max(genmig_series[lo:hi])
+        pt_peak = max(pt_series[lo:hi])
+        assert pt_peak > genmig_peak
+
+    def test_memory_rises_during_migration_then_settles(self, runs):
+        _, executor, metrics = runs["genmig"]
+        series = metrics.memory_usage()
+        before = series[MIGRATE_AT // 200 - 1]
+        during_peak = max(
+            series[MIGRATE_AT // 200 : int(executor.migration_log[0].completed_at) // 200 + 1]
+        )
+        assert during_peak > before

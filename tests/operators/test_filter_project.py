@@ -1,0 +1,78 @@
+"""Tests for the stateless operators: selection and projection."""
+
+from repro.operators import CostMeter, Project, ProjectFields, Select
+from repro.streams import CollectorSink
+from repro.temporal import element
+
+
+def drive(op, elements):
+    sink = CollectorSink()
+    op.attach_sink(sink)
+    for e in elements:
+        op.process(e)
+    return sink.elements
+
+
+class TestSelect:
+    def test_filters_by_payload(self):
+        out = drive(
+            Select(lambda p: p[0] > 2),
+            [element(1, 0, 5), element(3, 1, 6), element(5, 2, 7)],
+        )
+        assert [e.payload for e in out] == [(3,), (5,)]
+
+    def test_validity_untouched(self):
+        out = drive(Select(lambda p: True), [element("a", 3, 9)])
+        assert out[0].interval.start == 3
+        assert out[0].interval.end == 9
+
+    def test_emits_immediately(self):
+        sink = CollectorSink()
+        op = Select(lambda p: True)
+        op.attach_sink(sink)
+        op.process(element("a", 0, 5))
+        assert len(sink.elements) == 1  # no staging for stateless operators
+
+    def test_cost_charged_per_evaluation(self):
+        meter = CostMeter()
+        op = Select(lambda p: False, cost=7)
+        op.meter = meter
+        drive(op, [element("a", 0, 5), element("b", 1, 5)])
+        assert meter.by_category["select"] == 14
+
+    def test_flag_passthrough(self):
+        from repro.temporal import OLD
+
+        out = drive(Select(lambda p: True), [element("a", 0, 5).with_flag(OLD)])
+        assert out[0].flag == OLD
+
+
+class TestProject:
+    def test_mapping_applied(self):
+        out = drive(Project(lambda p: (p[0] * 2,)), [element(3, 0, 5)])
+        assert out[0].payload == (6,)
+
+    def test_scalar_results_coerced_to_tuples(self):
+        out = drive(Project(lambda p: p[0] + 1), [element(3, 0, 5)])
+        assert out[0].payload == (4,)
+
+    def test_duplicates_preserved(self):
+        out = drive(
+            Project(lambda p: ("x",)),
+            [element("a", 0, 5), element("b", 0, 5)],
+        )
+        assert [e.payload for e in out] == [("x",), ("x",)]
+
+    def test_validity_untouched(self):
+        out = drive(Project(lambda p: p), [element("a", 3, 9)])
+        assert out[0].interval.end == 9
+
+
+class TestProjectFields:
+    def test_picks_positions(self):
+        out = drive(ProjectFields([2, 0]), [element((1, 2, 3), 0, 5)])
+        assert out[0].payload == (3, 1)
+
+    def test_repeated_positions(self):
+        out = drive(ProjectFields([0, 0]), [element((7,), 0, 5)])
+        assert out[0].payload == (7, 7)

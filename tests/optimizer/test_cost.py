@@ -1,0 +1,155 @@
+"""Tests for the cost model."""
+
+import pytest
+
+from repro.engine import StatisticsCatalog
+from repro.optimizer import CostModel
+from repro.plans import (
+    AggregateNode,
+    AggregateSpec,
+    Comparison,
+    DifferenceNode,
+    DistinctNode,
+    Field,
+    JoinNode,
+    ProjectNode,
+    Query,
+    SelectNode,
+    Source,
+    UnionNode,
+)
+
+A = Source("A", ["x"])
+B = Source("B", ["y"])
+C = Source("C", ["z"])
+
+
+def catalog(rates):
+    stats = StatisticsCatalog()
+    for name, rate in rates.items():
+        estimator = stats.rate_of(name)
+        # Feed a steady synthetic arrival pattern to set the rate.
+        step = max(1, int(1 / rate))
+        for t in range(0, 20000, step):
+            estimator.observe(t)
+    return stats
+
+
+class TestSourceEstimates:
+    def test_state_scales_with_window(self):
+        model = CostModel()
+        stats = catalog({"A": 0.1})
+        small = model.estimate(Query(A, {"A": 10}), A, stats)
+        large = model.estimate(Query(A, {"A": 100}), A, stats)
+        assert large.state > small.state * 5
+
+    def test_source_has_no_cost(self):
+        model = CostModel()
+        assert model.estimate(Query(A, {"A": 10}), A, catalog({"A": 0.1})).cost == 0
+
+
+class TestJoinOrderRanking:
+    def test_selective_first_join_is_cheaper(self):
+        """The paper's scenario: the plan joining low-rate inputs first wins."""
+        model = CostModel(default_selectivity=0.01)
+        stats = catalog({"A": 0.5, "B": 0.5, "C": 0.01})
+        windows = {"A": 100, "B": 100, "C": 100}
+        # (A x B) first: huge intermediate.
+        ab_first = JoinNode(
+            JoinNode(A, B, Comparison("=", Field("A.x"), Field("B.y"))),
+            C,
+            Comparison("=", Field("B.y"), Field("C.z")),
+        )
+        # (B x C) first: tiny intermediate.
+        bc_first = JoinNode(
+            A,
+            JoinNode(B, C, Comparison("=", Field("B.y"), Field("C.z"))),
+            Comparison("=", Field("A.x"), Field("B.y")),
+        )
+        query = Query(ab_first, windows)
+        assert model.cost(query, bc_first, stats) < model.cost(query, ab_first, stats)
+
+    def test_observed_selectivity_changes_ranking(self):
+        model = CostModel(default_selectivity=0.5)
+        stats = catalog({"A": 0.2, "B": 0.2, "C": 0.2})
+        ab = Comparison("=", Field("A.x"), Field("B.y"))
+        bc = Comparison("=", Field("B.y"), Field("C.z"))
+        ab_first = JoinNode(JoinNode(A, B, ab), C, bc)
+        bc_first = JoinNode(A, JoinNode(B, C, bc), ab)
+        windows = {"A": 50, "B": 50, "C": 50}
+        query = Query(ab_first, windows)
+        # Tell the model the AB join is extremely selective.
+        stats.selectivity_of(repr(ab)).observe(100000, 1)
+        stats.selectivity_of(repr(bc)).observe(100000, 90000)
+        assert model.cost(query, ab_first, stats) < model.cost(query, bc_first, stats)
+
+
+class TestOtherOperators:
+    def test_selection_reduces_downstream_rate(self):
+        model = CostModel()
+        stats = catalog({"A": 0.5})
+        stats.selectivity_of("(A.x < 1)").observe(10000, 100)
+        plan = SelectNode(A, Comparison("<", Field("A.x"), Field("A.x")))
+        # Signature won't match the observed key; use default instead.
+        estimate = model.estimate(Query(A, {"A": 10}), plan, stats)
+        source = model.estimate(Query(A, {"A": 10}), A, stats)
+        assert estimate.rate < source.rate
+
+    def test_each_operator_adds_cost(self):
+        model = CostModel()
+        stats = catalog({"A": 0.5, "B": 0.5})
+        windows = {"A": 20, "B": 20}
+        base = JoinNode(A, B, Comparison("=", Field("A.x"), Field("B.y")))
+        for wrap in (
+            DistinctNode(base),
+            ProjectNode(base, [(Field("A.x"), "x")]),
+            AggregateNode(base, [AggregateSpec("count")]),
+        ):
+            query = Query(base, windows)
+            assert model.cost(query, wrap, stats) > model.cost(query, base, stats)
+
+    def test_union_and_difference(self):
+        model = CostModel()
+        stats = catalog({"A": 0.5, "B": 0.5})
+        windows = {"A": 20, "B": 20}
+        union = UnionNode(A, B)
+        difference = DifferenceNode(A, B)
+        union_estimate = model.estimate(Query(union, windows), union, stats)
+        diff_estimate = model.estimate(Query(difference, windows), difference, stats)
+        assert union_estimate.rate > diff_estimate.rate
+
+    def test_defaults_without_statistics(self):
+        model = CostModel()
+        plan = JoinNode(A, B, Comparison("=", Field("A.x"), Field("B.y")))
+        # No observations at all: still produces a finite estimate.
+        estimate = model.estimate(Query(plan, {"A": 10, "B": 10}), plan)
+        assert estimate.cost == 0  # zero rates -> zero cost
+
+
+class TestCrossProductPricing:
+    def test_cross_product_has_unit_selectivity(self):
+        model = CostModel(default_selectivity=0.001)
+        stats = catalog({"A": 0.3, "B": 0.3})
+        windows = {"A": 50, "B": 50}
+        cross = JoinNode(A, B)
+        equi = JoinNode(A, B, Comparison("=", Field("A.x"), Field("B.y")))
+        query = Query(cross, windows)
+        cross_estimate = model.estimate(query, cross, stats)
+        equi_estimate = model.estimate(query, equi, stats)
+        # Same probes, but the cross product keeps every pair.
+        assert cross_estimate.rate > equi_estimate.rate * 100
+
+    def test_cross_product_orders_never_win(self):
+        """Join enumeration may produce cross products; the model must
+        never prefer them (the bug class that once chose deny x conn)."""
+        from repro.optimizer import join_orders
+
+        stats = catalog({"A": 0.4, "B": 0.4, "C": 0.05})
+        windows = {"A": 50, "B": 50, "C": 50}
+        ab = Comparison("=", Field("A.x"), Field("B.y"))
+        bc = Comparison("=", Field("B.y"), Field("C.z"))
+        plan = JoinNode(JoinNode(A, B, ab), C, bc)
+        model = CostModel(default_selectivity=0.05)
+        query = Query(plan, windows)
+        best = min(join_orders(plan), key=lambda p: model.cost(query, p, stats))
+        assert "true" not in best.signature()

@@ -1,0 +1,149 @@
+"""Tests for the DP-based bushy join-order search."""
+
+import pytest
+
+from helpers import run_query
+from repro.engine import StatisticsCatalog
+from repro.optimizer import CostModel, best_join_order, join_orders
+from repro.plans import (
+    Comparison,
+    DistinctNode,
+    Field,
+    JoinNode,
+    Literal,
+    PhysicalBuilder,
+    Query,
+    SelectNode,
+    Source,
+)
+from repro.streams import timestamped_stream
+from repro.temporal import first_divergence
+
+A = Source("A", ["x"])
+B = Source("B", ["y"])
+C = Source("C", ["z"])
+D = Source("D", ["w"])
+
+AB = Comparison("=", Field("A.x"), Field("B.y"))
+BC = Comparison("=", Field("B.y"), Field("C.z"))
+CD = Comparison("=", Field("C.z"), Field("D.w"))
+
+
+def chain4():
+    return JoinNode(JoinNode(JoinNode(A, B, AB), C, BC), D, CD)
+
+
+def stats(rates):
+    catalog = StatisticsCatalog()
+    for name, step in rates.items():
+        for t in range(0, 20000, step):
+            catalog.rate_of(name).observe(t)
+    return catalog
+
+
+class TestBestJoinOrder:
+    def test_returns_none_for_non_join_plans(self):
+        query = Query(A, {"A": 10})
+        assert best_join_order(DistinctNode(A), query) is None
+
+    def test_never_worse_than_any_left_deep_order(self):
+        query = Query(chain4(), {n: 100 for n in "ABCD"})
+        catalog = stats({"A": 2, "B": 50, "C": 2, "D": 50})
+        model = CostModel(default_selectivity=0.02)
+        chosen = best_join_order(chain4(), query, catalog, model)
+        chosen_cost = model.cost(query, chosen, catalog)
+        for alternative in join_orders(chain4()):
+            assert chosen_cost <= model.cost(query, alternative, catalog) + 1e-9
+
+    def test_bushy_shape_found_when_it_wins(self):
+        """Chain a-B-c-D with cheap outer joins: (A⋈B) ⋈ (C⋈D) is bushy."""
+        query = Query(chain4(), {n: 100 for n in "ABCD"})
+        catalog = stats({"A": 200, "B": 4, "C": 200, "D": 4})
+        model = CostModel(default_selectivity=0.01)
+        chosen = best_join_order(chain4(), query, catalog, model)
+        # Cost can only be <= the best left-deep alternative; and the
+        # returned plan is schema-preserving.
+        assert chosen.schema == chain4().schema
+
+    def test_keeps_schema_and_semantics(self):
+        import random
+
+        rng = random.Random(7)
+        streams = {
+            name: timestamped_stream(
+                [(rng.randint(0, 5), t) for t in range(off, 240, 4)], name=name
+            )
+            for off, name in enumerate("ABCD")
+        }
+        windows = {name: 30 for name in streams}
+        query = Query(chain4(), windows)
+        chosen = best_join_order(chain4(), query, stats({"A": 5, "B": 5, "C": 5, "D": 5}))
+        base, _ = run_query(streams, windows, PhysicalBuilder().build(chain4()))
+        alt, _ = run_query(streams, windows, PhysicalBuilder().build(chosen))
+        assert first_divergence(base, alt) is None
+
+    def test_cross_products_avoided_when_joins_exist(self):
+        query = Query(chain4(), {n: 100 for n in "ABCD"})
+        chosen = best_join_order(chain4(), query, stats({n: 5 for n in "ABCD"}))
+        assert "true" not in chosen.signature()
+
+    def test_wrappers_preserved(self):
+        plan = DistinctNode(SelectNode(chain4(), Comparison("<", Field("A.x"), Literal(3))))
+        query = Query(plan, {n: 100 for n in "ABCD"})
+        chosen = best_join_order(plan, query, stats({n: 5 for n in "ABCD"}))
+        assert chosen.signature().startswith("distinct(")
+        assert chosen.schema == plan.schema
+
+    def test_single_leaf_conjunct_preserved_as_residue(self):
+        from repro.plans import And
+
+        condition = And(AB, Comparison("<", Field("A.x"), Literal(3)))
+        plan = JoinNode(A, B, condition)
+        query = Query(plan, {"A": 100, "B": 100})
+        chosen = best_join_order(plan, query, stats({"A": 5, "B": 5}))
+        assert "(A.x < 3)" in chosen.signature()
+        import random
+
+        rng = random.Random(9)
+        streams = {
+            "A": timestamped_stream([(rng.randint(0, 5), t) for t in range(0, 200, 3)]),
+            "B": timestamped_stream([(rng.randint(0, 5), t) for t in range(1, 200, 4)]),
+        }
+        windows = {"A": 30, "B": 30}
+        base, _ = run_query(streams, windows, PhysicalBuilder().build(plan))
+        alt, _ = run_query(streams, windows, PhysicalBuilder().build(chosen))
+        assert first_divergence(base, alt) is None
+
+    def test_leaf_limit_enforced(self):
+        sources = [Source(chr(65 + i), ["c"]) for i in range(6)]
+        tree = sources[0]
+        for s in sources[1:]:
+            tree = JoinNode(tree, s)
+        query = Query(tree, {s.name: 10 for s in sources})
+        with pytest.raises(ValueError):
+            best_join_order(tree, query, max_leaves=4)
+
+    def test_migration_to_dp_chosen_plan(self):
+        """The DP's plan is a valid GenMig target."""
+        import random
+
+        from repro.core import GenMig
+
+        rng = random.Random(11)
+        streams = {
+            name: timestamped_stream(
+                [(rng.randint(0, 5), t) for t in range(off, 300, 4)], name=name
+            )
+            for off, name in enumerate("ABCD")
+        }
+        windows = {name: 40 for name in streams}
+        query = Query(chain4(), windows)
+        chosen = best_join_order(chain4(), query, stats({"A": 3, "B": 40, "C": 3, "D": 40}))
+        builder = PhysicalBuilder()
+        base, _ = run_query(streams, windows, builder.build(chain4()))
+        out, executor = run_query(
+            streams, windows, builder.build(chain4()),
+            migrate_at=120, new_box=builder.build(chosen), strategy=GenMig(),
+        )
+        assert len(executor.migration_log) == 1
+        assert first_divergence(base, out) is None

@@ -1,0 +1,137 @@
+"""Tests for the re-optimizer driving dynamic migrations."""
+
+import random
+
+from repro.core import GenMig
+from repro.engine import QueryExecutor, StatisticsCatalog
+from repro.optimizer import CostModel, ReOptimizer
+from repro.plans import (
+    Comparison,
+    Field,
+    JoinNode,
+    PhysicalBuilder,
+    Query,
+    Source,
+)
+from repro.streams import CollectorSink, timestamped_stream
+from repro.temporal import first_divergence
+
+A = Source("A", ["x"])
+B = Source("B", ["y"])
+C = Source("C", ["z"])
+
+AB = Comparison("=", Field("A.x"), Field("B.y"))
+BC = Comparison("=", Field("B.y"), Field("C.z"))
+
+
+def left_deep():
+    return JoinNode(JoinNode(A, B, AB), C, BC)
+
+
+def skewed_catalog():
+    """A and B are fast, C is very slow: BC-first plans win."""
+    stats = StatisticsCatalog()
+    for t in range(0, 10000, 2):
+        stats.rate_of("A").observe(t)
+        stats.rate_of("B").observe(t)
+    for t in range(0, 10000, 500):
+        stats.rate_of("C").observe(t)
+    return stats
+
+
+class TestCandidates:
+    def test_candidates_include_join_orders(self):
+        optimizer = ReOptimizer()
+        candidates = optimizer.candidates(left_deep())
+        assert len(candidates) >= 6
+
+    def test_candidates_deduplicated(self):
+        optimizer = ReOptimizer()
+        candidates = optimizer.candidates(left_deep())
+        signatures = [plan.signature() for plan in candidates]
+        assert len(signatures) == len(set(signatures))
+
+
+class TestDecide:
+    def test_better_plan_chosen_under_skew(self):
+        optimizer = ReOptimizer(improvement_threshold=0.9)
+        query = Query(left_deep(), {"A": 100, "B": 100, "C": 100})
+        decision = optimizer.decide(query, left_deep(), skewed_catalog())
+        assert decision.migrate
+        assert decision.best_cost < decision.current_cost
+
+    def test_no_migration_for_small_wins(self):
+        optimizer = ReOptimizer(improvement_threshold=0.0001)
+        query = Query(left_deep(), {"A": 100, "B": 100, "C": 100})
+        decision = optimizer.decide(query, left_deep(), skewed_catalog())
+        assert not decision.migrate
+
+    def test_uniform_rates_keep_current_plan(self):
+        stats = StatisticsCatalog()
+        for t in range(0, 10000, 10):
+            for name in ("A", "B", "C"):
+                stats.rate_of(name).observe(t)
+        optimizer = ReOptimizer(improvement_threshold=0.8)
+        query = Query(left_deep(), {"A": 100, "B": 100, "C": 100})
+        decision = optimizer.decide(query, left_deep(), stats)
+        # All orders cost the same under uniform statistics.
+        assert not decision.migrate
+
+    def test_decisions_logged(self):
+        optimizer = ReOptimizer()
+        query = Query(left_deep(), {"A": 100, "B": 100, "C": 100})
+        optimizer.decide(query, left_deep(), skewed_catalog())
+        assert len(optimizer.decisions) == 1
+
+
+class TestReoptimizeLoop:
+    def test_live_reoptimization_migrates_and_stays_correct(self):
+        rng = random.Random(77)
+        streams = {
+            "A": timestamped_stream([(rng.randint(0, 5), t) for t in range(0, 400, 2)]),
+            "B": timestamped_stream([(rng.randint(0, 5), t) for t in range(1, 400, 2)]),
+            "C": timestamped_stream([(rng.randint(0, 5), t) for t in range(2, 400, 40)]),
+        }
+        windows = {"A": 50, "B": 50, "C": 50}
+        builder = PhysicalBuilder()
+        query = Query(left_deep(), windows)
+
+        def run(reoptimize):
+            sink = CollectorSink()
+            executor = QueryExecutor(streams, windows, builder.build(left_deep()))
+            executor.add_sink(sink)
+            if reoptimize:
+                optimizer = ReOptimizer(builder=builder, strategy_factory=GenMig,
+                                        improvement_threshold=0.95)
+                executor.schedule(
+                    200, lambda: optimizer.reoptimize(executor, query, left_deep())
+                )
+            executor.run()
+            return sink.elements, executor
+
+        base, _ = run(False)
+        migrated, executor = run(True)
+        assert len(executor.migration_log) == 1
+        assert first_divergence(base, migrated) is None
+
+    def test_reoptimize_returns_none_without_improvement(self):
+        streams = {
+            "A": timestamped_stream([(1, t) for t in range(0, 100, 5)]),
+            "B": timestamped_stream([(1, t) for t in range(1, 100, 5)]),
+            "C": timestamped_stream([(1, t) for t in range(2, 100, 5)]),
+        }
+        windows = {"A": 20, "B": 20, "C": 20}
+        builder = PhysicalBuilder()
+        executor = QueryExecutor(streams, windows, builder.build(left_deep()))
+        query = Query(left_deep(), windows)
+        optimizer = ReOptimizer(builder=builder, improvement_threshold=0.5)
+        outcome = {}
+        executor.schedule(
+            50,
+            lambda: outcome.update(
+                plan=optimizer.reoptimize(executor, query, left_deep())
+            ),
+        )
+        executor.run()
+        assert outcome["plan"] is None
+        assert executor.migration_log == []

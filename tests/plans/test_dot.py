@@ -1,0 +1,51 @@
+"""Tests for DOT export of plans and boxes."""
+
+from repro.plans import (
+    Comparison,
+    DistinctNode,
+    Field,
+    JoinNode,
+    PhysicalBuilder,
+    Source,
+    box_to_dot,
+    plan_to_dot,
+)
+
+A = Source("A", ["x"])
+B = Source("B", ["y"])
+
+
+def plan():
+    return DistinctNode(JoinNode(A, B, Comparison("=", Field("A.x"), Field("B.y"))))
+
+
+class TestPlanToDot:
+    def test_contains_all_nodes_and_edges(self):
+        dot = plan_to_dot(plan())
+        assert dot.startswith("digraph")
+        assert dot.count("->") == 3  # A->join, B->join, join->distinct
+        assert "distinct" in dot
+        assert 'label="A"' in dot and 'label="B"' in dot
+
+    def test_labels_escaped(self):
+        from repro.plans import Literal, SelectNode
+
+        node = SelectNode(A, Comparison("=", Field("A.x"), Literal('he"llo')))
+        dot = plan_to_dot(node)
+        assert '\\"' in dot
+
+
+class TestBoxToDot:
+    def test_contains_taps_operators_and_subscriptions(self):
+        box = PhysicalBuilder().build(plan())
+        dot = box_to_dot(box)
+        assert "src_A" in dot and "src_B" in dot
+        assert "distinct" in dot
+        assert "port 0" in dot and "port 1" in dot
+        # Root is highlighted.
+        assert 'style="bold"' in dot
+
+    def test_valid_for_bare_source_box(self):
+        box = PhysicalBuilder().build(A)
+        dot = box_to_dot(box)
+        assert "src_A" in dot

@@ -1,0 +1,132 @@
+"""Tests for the expression language."""
+
+import pytest
+
+from repro.plans import (
+    And,
+    Arithmetic,
+    Comparison,
+    Field,
+    Literal,
+    Not,
+    Or,
+    conjunction,
+    conjuncts,
+)
+
+SCHEMA = ("a", "b", "c")
+
+
+class TestFieldAndLiteral:
+    def test_field_resolution(self):
+        assert Field("b").compile(SCHEMA)((1, 2, 3)) == 2
+
+    def test_unknown_field(self):
+        with pytest.raises(KeyError):
+            Field("z").compile(SCHEMA)
+
+    def test_literal(self):
+        assert Literal(42).compile(SCHEMA)((1, 2, 3)) == 42
+
+    def test_columns(self):
+        assert Field("a").columns() == frozenset({"a"})
+        assert Literal(1).columns() == frozenset()
+
+
+class TestComparison:
+    @pytest.mark.parametrize(
+        "op,expected", [("=", False), ("!=", True), ("<", True), ("<=", True),
+                        (">", False), (">=", False)]
+    )
+    def test_operators(self, op, expected):
+        expr = Comparison(op, Field("a"), Field("b"))
+        assert expr.compile(SCHEMA)((1, 2, 3)) is expected
+
+    def test_unknown_operator(self):
+        with pytest.raises(ValueError):
+            Comparison("~", Field("a"), Field("b"))
+
+    def test_is_equi(self):
+        assert Comparison("=", Field("a"), Field("b")).is_equi
+        assert not Comparison("<", Field("a"), Field("b")).is_equi
+        assert not Comparison("=", Field("a"), Literal(1)).is_equi
+
+    def test_columns_union(self):
+        expr = Comparison("=", Field("a"), Field("c"))
+        assert expr.columns() == frozenset({"a", "c"})
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize(
+        "op,expected", [("+", 5), ("-", 1), ("*", 6), ("%", 1)]
+    )
+    def test_operators(self, op, expected):
+        expr = Arithmetic(op, Literal(3), Literal(2))
+        assert expr.compile(SCHEMA)(()) == expected
+
+    def test_division(self):
+        assert Arithmetic("/", Literal(3), Literal(2)).compile(SCHEMA)(()) == 1.5
+
+    def test_nested(self):
+        expr = Arithmetic("+", Field("a"), Arithmetic("*", Field("b"), Literal(10)))
+        assert expr.compile(SCHEMA)((1, 2, 3)) == 21
+
+
+class TestBooleanConnectives:
+    def test_and(self):
+        expr = And(Comparison("<", Field("a"), Field("b")),
+                   Comparison("<", Field("b"), Field("c")))
+        assert expr.compile(SCHEMA)((1, 2, 3))
+        assert not expr.compile(SCHEMA)((1, 3, 2))
+
+    def test_or(self):
+        expr = Or(Comparison("=", Field("a"), Literal(9)),
+                  Comparison("=", Field("b"), Literal(2)))
+        assert expr.compile(SCHEMA)((1, 2, 3))
+
+    def test_not(self):
+        expr = Not(Comparison("=", Field("a"), Literal(1)))
+        assert not expr.compile(SCHEMA)((1, 2, 3))
+
+    def test_empty_connectives_rejected(self):
+        with pytest.raises(ValueError):
+            And()
+        with pytest.raises(ValueError):
+            Or()
+
+
+class TestConjuncts:
+    def test_flattening(self):
+        a = Comparison("=", Field("a"), Literal(1))
+        b = Comparison("=", Field("b"), Literal(2))
+        c = Comparison("=", Field("c"), Literal(3))
+        assert conjuncts(And(a, And(b, c))) == (a, b, c)
+
+    def test_non_and_is_single_conjunct(self):
+        expr = Or(Comparison("=", Field("a"), Literal(1)),
+                  Comparison("=", Field("b"), Literal(2)))
+        assert conjuncts(expr) == (expr,)
+
+    def test_round_trip(self):
+        a = Comparison("=", Field("a"), Literal(1))
+        b = Comparison("=", Field("b"), Literal(2))
+        rebuilt = conjunction(list(conjuncts(And(a, b))))
+        assert conjuncts(rebuilt) == (a, b)
+
+    def test_conjunction_of_one(self):
+        a = Comparison("=", Field("a"), Literal(1))
+        assert conjunction([a]) is a
+
+    def test_conjunction_of_none_rejected(self):
+        with pytest.raises(ValueError):
+            conjunction([])
+
+
+class TestEquality:
+    def test_structural_equality(self):
+        assert Comparison("=", Field("a"), Literal(1)) == Comparison("=", Field("a"), Literal(1))
+        assert Comparison("=", Field("a"), Literal(1)) != Comparison("=", Field("a"), Literal(2))
+
+    def test_repr_is_readable(self):
+        expr = And(Comparison("<", Field("a"), Literal(5)), Field("b"))
+        assert "a < 5" in repr(expr)

@@ -1,0 +1,165 @@
+"""Tests for logical plan nodes."""
+
+import pytest
+
+from repro.plans import (
+    AggregateNode,
+    AggregateSpec,
+    Comparison,
+    DifferenceNode,
+    DistinctNode,
+    Field,
+    JoinNode,
+    Literal,
+    ProjectNode,
+    Query,
+    SelectNode,
+    Source,
+    UnionNode,
+)
+
+
+def sources():
+    return Source("A", ["x", "y"]), Source("B", ["z"])
+
+
+class TestSource:
+    def test_schema_qualified(self):
+        a, _ = sources()
+        assert a.schema == ("A.x", "A.y")
+
+    def test_unqualified_option(self):
+        assert Source("A", ["x"], qualify=False).schema == ("x",)
+
+    def test_sources_list(self):
+        assert Source("A", ["x"]).sources() == ("A",)
+
+
+class TestSelectProject:
+    def test_select_schema_passthrough(self):
+        a, _ = sources()
+        node = SelectNode(a, Comparison("<", Field("A.x"), Literal(5)))
+        assert node.schema == a.schema
+
+    def test_select_unknown_column_rejected(self):
+        a, _ = sources()
+        with pytest.raises(ValueError):
+            SelectNode(a, Comparison("<", Field("B.z"), Literal(5)))
+
+    def test_project_schema_from_outputs(self):
+        a, _ = sources()
+        node = ProjectNode(a, [(Field("A.y"), "y"), (Literal(1), "one")])
+        assert node.schema == ("y", "one")
+
+    def test_project_requires_columns(self):
+        a, _ = sources()
+        with pytest.raises(ValueError):
+            ProjectNode(a, [])
+
+    def test_project_unknown_column_rejected(self):
+        a, _ = sources()
+        with pytest.raises(ValueError):
+            ProjectNode(a, [(Field("nope"), "n")])
+
+
+class TestJoin:
+    def test_schema_concatenation(self):
+        a, b = sources()
+        node = JoinNode(a, b, Comparison("=", Field("A.x"), Field("B.z")))
+        assert node.schema == ("A.x", "A.y", "B.z")
+
+    def test_overlapping_schemas_rejected(self):
+        with pytest.raises(ValueError):
+            JoinNode(Source("A", ["x"]), Source("A", ["x"]))
+
+    def test_cross_product_allowed(self):
+        a, b = sources()
+        assert JoinNode(a, b).condition is None
+
+    def test_equi_columns_detection(self):
+        a, b = sources()
+        node = JoinNode(a, b, Comparison("=", Field("A.x"), Field("B.z")))
+        assert node.equi_columns() == ("A.x", "B.z")
+
+    def test_equi_columns_reversed_condition(self):
+        a, b = sources()
+        node = JoinNode(a, b, Comparison("=", Field("B.z"), Field("A.x")))
+        assert node.equi_columns() == ("A.x", "B.z")
+
+    def test_theta_condition_not_equi(self):
+        a, b = sources()
+        node = JoinNode(a, b, Comparison("<", Field("A.x"), Field("B.z")))
+        assert node.equi_columns() is None
+
+    def test_sources_left_to_right(self):
+        a, b = sources()
+        assert JoinNode(a, b).sources() == ("A", "B")
+
+
+class TestAggregate:
+    def test_schema(self):
+        a, _ = sources()
+        node = AggregateNode(
+            a,
+            [AggregateSpec("count"), AggregateSpec("sum", "A.y")],
+            group_by=["A.x"],
+        )
+        assert node.schema == ("A.x", "count(*)", "sum(A.y)")
+
+    def test_unknown_function(self):
+        a, _ = sources()
+        with pytest.raises(ValueError):
+            AggregateNode(a, [AggregateSpec("median", "A.x")])
+
+    def test_star_only_for_count(self):
+        a, _ = sources()
+        with pytest.raises(ValueError):
+            AggregateNode(a, [AggregateSpec("sum", None)])
+
+    def test_unknown_group_column(self):
+        a, _ = sources()
+        with pytest.raises(ValueError):
+            AggregateNode(a, [AggregateSpec("count")], group_by=["nope"])
+
+
+class TestSetOperators:
+    def test_union_compatible(self):
+        node = UnionNode(Source("A", ["x"]), Source("B", ["y"]))
+        assert node.schema == ("A.x",)
+
+    def test_union_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            UnionNode(Source("A", ["x"]), Source("B", ["y", "z"]))
+
+    def test_difference_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            DifferenceNode(Source("A", ["x"]), Source("B", ["y", "z"]))
+
+
+class TestPlanIdentity:
+    def test_signature_equality(self):
+        a1 = DistinctNode(Source("A", ["x"]))
+        a2 = DistinctNode(Source("A", ["x"]))
+        assert a1 == a2
+        assert hash(a1) == hash(a2)
+
+    def test_different_structures_differ(self):
+        a, b = sources()
+        assert JoinNode(a, b) != JoinNode(b, a)
+
+    def test_pretty_renders_tree(self):
+        a, b = sources()
+        text = JoinNode(a, b).pretty()
+        assert "A[" in text and "B[" in text
+
+
+class TestQuery:
+    def test_requires_windows_for_all_sources(self):
+        a, b = sources()
+        with pytest.raises(ValueError):
+            Query(JoinNode(a, b), windows={"A": 10})
+
+    def test_global_window(self):
+        a, b = sources()
+        query = Query(JoinNode(a, b), windows={"A": 10, "B": 30})
+        assert query.global_window == 30

@@ -1,0 +1,67 @@
+"""Tests for the interval <-> positive-negative conversions (Section 2.3)."""
+
+import random
+
+import pytest
+
+from repro.pn import interval_to_pn, pn_to_interval
+from repro.temporal import element, first_divergence, snapshot_equivalent
+from repro.temporal.element import negative, positive
+from repro.temporal.time import MAX_TIME
+
+
+class TestIntervalToPN:
+    def test_element_becomes_sign_pair(self):
+        pn = interval_to_pn([element("a", 3, 9)])
+        assert pn == [positive("a", 3), negative("a", 9)]
+
+    def test_output_ordered_by_timestamp(self):
+        pn = interval_to_pn([element("a", 0, 100), element("b", 5, 10)])
+        timestamps = [e.timestamp for e in pn]
+        assert timestamps == sorted(timestamps)
+
+    def test_unbounded_validity_has_no_negative(self):
+        pn = interval_to_pn([element("a", 3, MAX_TIME)])
+        assert len(pn) == 1
+        assert pn[0].is_positive
+
+    def test_doubles_stream_rate(self):
+        """The PN drawback the paper notes: twice the elements."""
+        stream = [element(i, t, t + 10) for i, t in enumerate(range(0, 50, 5))]
+        assert len(interval_to_pn(stream)) == 2 * len(stream)
+
+
+class TestPNToInterval:
+    def test_pair_becomes_interval(self):
+        out = pn_to_interval([positive("a", 3), negative("a", 9)])
+        assert out == [element("a", 3, 9)]
+
+    def test_unmatched_positive_is_unbounded(self):
+        out = pn_to_interval([positive("a", 3)])
+        assert out[0].interval.is_unbounded
+
+    def test_orphan_negative_rejected(self):
+        with pytest.raises(ValueError):
+            pn_to_interval([negative("a", 9)])
+
+    def test_zero_length_pairs_dropped(self):
+        out = pn_to_interval([positive("a", 3), negative("a", 3)])
+        assert out == []
+
+    def test_fifo_matching_is_snapshot_correct(self):
+        """Any matching yields the same snapshots; FIFO is one of them."""
+        stream = [element("a", 0, 10), element("a", 5, 20)]
+        round_trip = pn_to_interval(interval_to_pn(stream))
+        assert snapshot_equivalent(stream, round_trip)
+
+
+class TestRoundTrip:
+    def test_random_streams_round_trip(self):
+        rng = random.Random(55)
+        for seed in range(5):
+            stream = [
+                element(rng.randint(0, 3), t, t + rng.randint(1, 30))
+                for t in range(0, 200, 3)
+            ]
+            round_trip = pn_to_interval(interval_to_pn(stream))
+            assert first_divergence(stream, round_trip) is None

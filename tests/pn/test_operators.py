@@ -1,0 +1,245 @@
+"""Tests for the PN operator algebra, validated against the interval engine."""
+
+import random
+
+import pytest
+
+from helpers import run_query
+from repro.engine import Box
+from repro.operators import DuplicateElimination, Select, equi_join
+from repro.pn import (
+    PNDistinct,
+    PNJoin,
+    PNProject,
+    PNSelect,
+    PNWindow,
+    pn_to_interval,
+    run_pn_pipeline,
+)
+from repro.temporal import first_divergence
+from repro.temporal.element import negative, positive
+from repro.temporal.time import MAX_TIME
+
+
+def raw_streams(seed=9, length=300):
+    rng = random.Random(seed)
+    return {
+        "A": [positive(rng.randint(0, 4), t) for t in range(0, length, 3)],
+        "B": [positive(rng.randint(0, 4), t) for t in range(1, length, 4)],
+    }
+
+
+def run_single(op_factory, elements, window=50):
+    window_op = PNWindow(window)
+    op = op_factory()
+    window_op.subscribe(op, 0)
+    return run_pn_pipeline({"A": elements}, {"A": [(window_op, 0)]}, op)
+
+
+class TestPNWindow:
+    def test_schedules_negative_after_w_plus_one(self):
+        out = run_single(lambda: PNSelect(lambda p: True), [positive("a", 5)], window=10)
+        assert positive("a", 5) in out
+        assert negative("a", 16) in out
+
+    def test_rejects_negative_raw_input(self):
+        window = PNWindow(5)
+        with pytest.raises(ValueError):
+            window.process(negative("a", 3))
+
+    def test_output_timestamp_ordered(self):
+        inputs = [positive(i, t) for i, t in enumerate(range(0, 100, 7))]
+        out = run_single(lambda: PNSelect(lambda p: True), inputs, window=20)
+        timestamps = [e.timestamp for e in out]
+        assert timestamps == sorted(timestamps)
+
+
+class TestPNSelectProject:
+    def test_select_drops_both_signs_together(self):
+        out = run_single(lambda: PNSelect(lambda p: p[0] >= 2),
+                         [positive(1, 0), positive(3, 5)], window=10)
+        payloads = {e.payload for e in out}
+        assert payloads == {(3,)}
+        assert len(out) == 2  # one + and one -
+
+    def test_project_maps_payloads(self):
+        out = run_single(lambda: PNProject(lambda p: (p[0] * 10,)),
+                         [positive(4, 0)], window=10)
+        assert {e.payload for e in out} == {(40,)}
+
+
+class TestPNJoinAgainstIntervalEngine:
+    def test_join_matches_interval_semantics(self):
+        raws = raw_streams()
+        join = PNJoin(lambda l, r: l[0] == r[0])
+        wa, wb = PNWindow(50), PNWindow(50)
+        wa.subscribe(join, 0)
+        wb.subscribe(join, 1)
+        pn_out = run_pn_pipeline(raws, {"A": [(wa, 0)], "B": [(wb, 0)]}, join)
+
+        from repro.streams import PhysicalStream
+        from repro.temporal import element
+
+        interval_streams = {
+            name: PhysicalStream([element(e.payload, e.timestamp, e.timestamp + 1)
+                                  for e in elements])
+            for name, elements in raws.items()
+        }
+        ij = equi_join(0, 0)
+        box = Box(taps={"A": [(ij, 0)], "B": [(ij, 1)]}, root=ij)
+        interval_out, _ = run_query(interval_streams, {"A": 50, "B": 50}, box)
+        assert first_divergence(pn_to_interval(pn_out), interval_out) is None
+
+    def test_join_handles_port_skew_via_merge_buffer(self):
+        """Per-pair events must be exactly one + and one - even when the
+        windows release their scheduled negatives asymmetrically."""
+        raws = raw_streams(seed=123)
+        join = PNJoin(lambda l, r: l[0] == r[0])
+        wa, wb = PNWindow(50), PNWindow(50)
+        wa.subscribe(join, 0)
+        wb.subscribe(join, 1)
+        out = run_pn_pipeline(raws, {"A": [(wa, 0)], "B": [(wb, 0)]}, join)
+        live = {}
+        for e in out:
+            live[e.payload] = live.get(e.payload, 0) + (1 if e.is_positive else -1)
+            assert live[e.payload] >= 0, f"orphan negative for {e.payload}"
+        assert all(count == 0 for count in live.values())
+
+    def test_join_negative_for_unknown_payload_rejected(self):
+        join = PNJoin(lambda l, r: True)
+        join.process(negative("a", 5), 0)
+        with pytest.raises(ValueError):
+            join.process_heartbeat(5, 1)  # drains the merge buffer
+
+
+class TestPNDistinctAgainstIntervalEngine:
+    def test_distinct_matches_interval_semantics(self):
+        raws = raw_streams(seed=77)
+        distinct = PNDistinct()
+        window = PNWindow(40)
+        window.subscribe(distinct, 0)
+        pn_out = run_pn_pipeline({"A": raws["A"]}, {"A": [(window, 0)]}, distinct)
+
+        from repro.streams import PhysicalStream
+        from repro.temporal import element
+
+        stream = PhysicalStream(
+            [element(e.payload, e.timestamp, e.timestamp + 1) for e in raws["A"]]
+        )
+        op = DuplicateElimination()
+        box = Box(taps={"A": [(op, 0)]}, root=op)
+        interval_out, _ = run_query({"A": stream}, {"A": 40}, box)
+        assert first_divergence(pn_to_interval(pn_out), interval_out) is None
+
+    def test_distinct_emits_first_positive_and_last_negative(self):
+        distinct = PNDistinct()
+        events = [
+            (positive("a", 0), 0),
+            (positive("a", 5), 0),
+            (negative("a", 10), 0),
+            (negative("a", 20), 0),
+        ]
+        collected = []
+
+        class Sink:
+            def process(self, e, port=0):
+                collected.append(e)
+
+            def process_heartbeat(self, t, port=0):
+                pass
+
+        distinct.attach_sink(Sink())
+        for e, port in events:
+            distinct.process(e, port)
+        distinct.process_heartbeat(MAX_TIME, 0)
+        assert collected == [positive("a", 0), negative("a", 20)]
+
+    def test_composed_join_distinct_pipeline(self):
+        raws = raw_streams(seed=31)
+        join = PNJoin(lambda l, r: l[0] == r[0])
+        distinct = PNDistinct()
+        join.subscribe(distinct, 0)
+        wa, wb = PNWindow(50), PNWindow(50)
+        wa.subscribe(join, 0)
+        wb.subscribe(join, 1)
+        pn_out = run_pn_pipeline(raws, {"A": [(wa, 0)], "B": [(wb, 0)]}, distinct)
+
+        from repro.streams import PhysicalStream
+        from repro.temporal import element
+
+        interval_streams = {
+            name: PhysicalStream([element(e.payload, e.timestamp, e.timestamp + 1)
+                                  for e in elements])
+            for name, elements in raws.items()
+        }
+        ij = equi_join(0, 0)
+        idup = DuplicateElimination()
+        ij.subscribe(idup, 0)
+        box = Box(taps={"A": [(ij, 0)], "B": [(ij, 1)]}, root=idup)
+        interval_out, _ = run_query(interval_streams, {"A": 50, "B": 50}, box)
+        assert first_divergence(pn_to_interval(pn_out), interval_out) is None
+
+
+class TestPNAggregateAgainstIntervalEngine:
+    def test_grouped_count_matches_interval_semantics(self):
+        from repro.operators import Aggregate, count
+        from repro.pn import PNAggregate
+
+        raws = raw_streams(seed=99)["A"]
+        agg = PNAggregate([lambda members: len(members)],
+                          group_key=lambda p: (p[0],))
+        window = PNWindow(30)
+        window.subscribe(agg, 0)
+        pn_out = run_pn_pipeline({"A": raws}, {"A": [(window, 0)]}, agg)
+
+        from repro.streams import PhysicalStream
+        from repro.temporal import element
+
+        stream = PhysicalStream(
+            [element(e.payload, e.timestamp, e.timestamp + 1) for e in raws]
+        )
+        op = Aggregate([count()], group_key=lambda p: (p[0],))
+        box = Box(taps={"A": [(op, 0)]}, root=op)
+        interval_out, _ = run_query({"A": stream}, {"A": 30}, box)
+        assert first_divergence(pn_to_interval(pn_out), interval_out) is None
+
+    def test_value_changes_emit_sign_pairs(self):
+        from repro.pn import PNAggregate
+        from repro.temporal.element import negative
+
+        agg = PNAggregate([lambda members: len(members)],
+                          group_key=lambda p: (p[0],))
+        out = []
+
+        class Sink:
+            def process(self, e, port=0):
+                out.append(e)
+
+            def process_heartbeat(self, t, port=0):
+                pass
+
+        agg.attach_sink(Sink())
+        agg.process(positive(("x", 1), 0))
+        agg.process(positive(("x", 2), 5))
+        agg.process(negative(("x", 1), 10))
+        agg.process(negative(("x", 2), 20))
+        agg.process_heartbeat(MAX_TIME, 0)
+        # count goes 1 -> 2 -> 1 -> (gone): +1@0, -1@5 +2@5, -2@10 +1@10, -1@20
+        signs = [(e.payload, e.timestamp, str(e.sign)) for e in out]
+        assert signs == [
+            (("x", 1), 0, "+"),
+            (("x", 1), 5, "-"),
+            (("x", 2), 5, "+"),
+            (("x", 2), 10, "-"),
+            (("x", 1), 10, "+"),
+            (("x", 1), 20, "-"),
+        ]
+
+    def test_orphan_negative_rejected(self):
+        from repro.pn import PNAggregate
+        from repro.temporal.element import negative
+
+        agg = PNAggregate([lambda members: len(members)],
+                          group_key=lambda p: (p[0],))
+        with pytest.raises(ValueError):
+            agg.process(negative(("x", 1), 0))

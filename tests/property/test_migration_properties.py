@@ -1,0 +1,178 @@
+"""Property-based tests of the migration strategies.
+
+The headline invariant (Lemma 1): for random inputs, random windows and a
+random migration time, a GenMig-migrated run is snapshot-equivalent to the
+unmigrated run, preserves output ordering, and leaves no migration state
+behind.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import run_query
+from repro.core import GenMig, ParallelTrack, ReferencePointGenMig, ShortenedGenMig
+from repro.streams import timestamped_stream
+from repro.temporal import first_divergence
+from scenarios import (
+    aggregate_all_box,
+    aggregate_filtered_box,
+    difference_box,
+    difference_filtered_box,
+    distinct_over_join_box,
+    join_over_distinct_box,
+    left_deep_join_box,
+    right_deep_join_box,
+)
+
+stream_pair = st.tuples(
+    st.lists(
+        st.integers(min_value=0, max_value=4), min_size=5, max_size=60
+    ),
+    st.lists(
+        st.integers(min_value=0, max_value=4), min_size=5, max_size=60
+    ),
+    st.integers(min_value=2, max_value=7),   # stride A
+    st.integers(min_value=2, max_value=7),   # stride B
+)
+
+PLAN_PAIRS = [
+    (distinct_over_join_box, join_over_distinct_box),
+    (join_over_distinct_box, distinct_over_join_box),
+    (aggregate_all_box, lambda: aggregate_filtered_box(10)),
+    (difference_box, lambda: difference_filtered_box(10)),
+]
+
+
+def build_streams(values_a, values_b, stride_a, stride_b):
+    return {
+        "A": timestamped_stream([(v, i * stride_a) for i, v in enumerate(values_a)]),
+        "B": timestamped_stream([(v, 1 + i * stride_b) for i, v in enumerate(values_b)]),
+    }
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    data=stream_pair,
+    window=st.integers(min_value=5, max_value=80),
+    migrate_at=st.integers(min_value=0, max_value=300),
+    plan_index=st.integers(min_value=0, max_value=len(PLAN_PAIRS) - 1),
+)
+def test_genmig_always_snapshot_equivalent(data, window, migrate_at, plan_index):
+    streams = build_streams(*data)
+    windows = {"A": window, "B": window}
+    old_factory, new_factory = PLAN_PAIRS[plan_index]
+    base, _ = run_query(streams, windows, old_factory())
+    out, executor = run_query(
+        streams, windows, old_factory(),
+        migrate_at=migrate_at, new_box=new_factory(), strategy=GenMig(),
+    )
+    assert first_divergence(base, out) is None
+    assert executor.gate.order_violations == 0
+    assert len(executor.migration_log) == 1
+    assert executor.state_value_count() == executor.box.state_value_count()
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    data=stream_pair,
+    window=st.integers(min_value=5, max_value=60),
+    migrate_at=st.integers(min_value=0, max_value=200),
+)
+def test_shortened_t_split_never_exceeds_standard(data, window, migrate_at):
+    streams = build_streams(*data)
+    windows = {"A": window, "B": window}
+    _, standard = run_query(
+        streams, windows, distinct_over_join_box(),
+        migrate_at=migrate_at, new_box=join_over_distinct_box(), strategy=GenMig(),
+    )
+    out, short = run_query(
+        streams, windows, distinct_over_join_box(),
+        migrate_at=migrate_at, new_box=join_over_distinct_box(),
+        strategy=ShortenedGenMig(),
+    )
+    base, _ = run_query(streams, windows, distinct_over_join_box())
+    assert first_divergence(base, out) is None
+    assert short.migration_log[0].t_split <= standard.migration_log[0].t_split
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    data=stream_pair,
+    window=st.integers(min_value=5, max_value=60),
+    migrate_at=st.integers(min_value=0, max_value=200),
+)
+def test_join_strategies_agree_on_random_inputs(data, window, migrate_at):
+    streams = build_streams(*data)
+    windows = {"A": window, "B": window}
+
+    def join_box():
+        from repro.engine import Box
+        from repro.operators import equi_join
+
+        join = equi_join(0, 0)
+        return Box(taps={"A": [(join, 0)], "B": [(join, 1)]}, root=join)
+
+    base, _ = run_query(streams, windows, join_box())
+    for strategy in (GenMig(), ReferencePointGenMig(), ParallelTrack()):
+        out, executor = run_query(
+            streams, windows, join_box(),
+            migrate_at=migrate_at, new_box=join_box(), strategy=strategy,
+        )
+        assert first_divergence(base, out) is None, strategy.name
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    values_a=st.lists(st.integers(min_value=0, max_value=3), min_size=8, max_size=40),
+    values_b=st.lists(st.integers(min_value=0, max_value=3), min_size=8, max_size=40),
+    window=st.integers(min_value=5, max_value=50),
+    migrate_at=st.integers(min_value=5, max_value=120),
+)
+def test_pn_genmig_always_snapshot_equivalent(values_a, values_b, window, migrate_at):
+    """Section 4.6 as a property: the PN migration matches the unmigrated
+    PN run for random inputs, windows and migration times."""
+    from repro.pn import (
+        PNBox,
+        PNDistinct,
+        PNJoin,
+        PNWindow,
+        pn_to_interval,
+        run_pn_migration,
+        run_pn_pipeline,
+    )
+    from repro.temporal.element import positive
+
+    raw = {
+        "A": [positive(v, 3 * i) for i, v in enumerate(values_a)],
+        "B": [positive(v, 1 + 4 * i) for i, v in enumerate(values_b)],
+    }
+
+    def top_box():
+        join = PNJoin(lambda l, r: l[0] == r[0])
+        distinct = PNDistinct()
+        join.subscribe(distinct, 0)
+        return PNBox(taps={"A": [(join, 0)], "B": [(join, 1)]}, root=distinct)
+
+    def pushed_box():
+        da, db = PNDistinct(), PNDistinct()
+        join = PNJoin(lambda l, r: l[0] == r[0])
+        da.subscribe(join, 0)
+        db.subscribe(join, 1)
+        return PNBox(taps={"A": [(da, 0)], "B": [(db, 0)]}, root=join)
+
+    reference_box = top_box()
+    wa, wb = PNWindow(window), PNWindow(window)
+    for op, port in reference_box.taps["A"]:
+        wa.subscribe(op, port)
+    for op, port in reference_box.taps["B"]:
+        wb.subscribe(op, port)
+    reference = pn_to_interval(
+        run_pn_pipeline(raw, {"A": [(wa, 0)], "B": [(wb, 0)]}, reference_box.root)
+    )
+    try:
+        migrated, _ = run_pn_migration(
+            raw, {"A": window, "B": window}, top_box(), pushed_box(), migrate_at
+        )
+    except ValueError:
+        return  # inputs ended before the trigger: nothing to migrate
+    assert first_divergence(pn_to_interval(migrated), reference) is None

@@ -1,0 +1,128 @@
+"""Reusable migration scenarios for the core and integration tests."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+from repro.engine import Box
+from repro.operators import (
+    Aggregate,
+    Difference,
+    DuplicateElimination,
+    Select,
+    Union,
+    count,
+    equi_join,
+    sum_of,
+)
+from repro.streams import PhysicalStream, timestamped_stream
+
+
+def two_random_streams(seed=7, length=400, values=5) -> Dict[str, PhysicalStream]:
+    rng = random.Random(seed)
+    return {
+        "A": timestamped_stream(
+            [(rng.randint(0, values), t) for t in range(0, length, 3)], name="A"
+        ),
+        "B": timestamped_stream(
+            [(rng.randint(0, values), t) for t in range(1, length, 4)], name="B"
+        ),
+    }
+
+
+def three_random_streams(seed=3, length=500, values=8) -> Dict[str, PhysicalStream]:
+    rng = random.Random(seed)
+    return {
+        name: timestamped_stream(
+            [(rng.randint(0, values), t) for t in range(off, length, 5)], name=name
+        )
+        for name, off in (("A", 0), ("B", 1), ("C", 2))
+    }
+
+
+# --------------------------------------------------------------------- #
+# Join-reordering scenario (the paper's experimental setup, 3-way here)
+# --------------------------------------------------------------------- #
+
+
+def left_deep_join_box() -> Box:
+    j1 = equi_join(0, 0, name="AB")
+    j2 = equi_join(0, 0, name="ABC")
+    j1.subscribe(j2, 0)
+    return Box(taps={"A": [(j1, 0)], "B": [(j1, 1)], "C": [(j2, 1)]}, root=j2, label="left-deep")
+
+
+def right_deep_join_box() -> Box:
+    j1 = equi_join(0, 0, name="BC")
+    j2 = equi_join(0, 0, name="ABC")
+    j1.subscribe(j2, 1)
+    return Box(taps={"A": [(j2, 0)], "B": [(j1, 0)], "C": [(j1, 1)]}, root=j2, label="right-deep")
+
+
+# --------------------------------------------------------------------- #
+# Duplicate-elimination push-down scenario (Figure 2)
+# --------------------------------------------------------------------- #
+
+
+def distinct_over_join_box() -> Box:
+    join = equi_join(0, 0, name="join")
+    distinct = DuplicateElimination(name="distinct")
+    join.subscribe(distinct, 0)
+    return Box(taps={"A": [(join, 0)], "B": [(join, 1)]}, root=distinct, label="distinct-top")
+
+
+def join_over_distinct_box() -> Box:
+    da = DuplicateElimination(name="dA")
+    db = DuplicateElimination(name="dB")
+    join = equi_join(0, 0, name="join")
+    da.subscribe(join, 0)
+    db.subscribe(join, 1)
+    return Box(taps={"A": [(da, 0)], "B": [(db, 0)]}, root=join, label="distinct-pushed")
+
+
+# --------------------------------------------------------------------- #
+# Aggregation scenario (select reorder around grouped aggregation)
+# --------------------------------------------------------------------- #
+
+
+def aggregate_all_box() -> Box:
+    """count/sum per key over the union of both inputs."""
+    union = Union(name="union")
+    aggregate = Aggregate([count(), sum_of(0)], group_key=lambda p: (p[0],), name="agg")
+    union.subscribe(aggregate, 0)
+    return Box(taps={"A": [(union, 0)], "B": [(union, 1)]}, root=aggregate, label="agg-union")
+
+
+def aggregate_filtered_box(threshold: int) -> Box:
+    """Same aggregation with an (all-pass) selection placed differently."""
+    sa = Select(lambda p: p[0] <= threshold, name="sA")
+    sb = Select(lambda p: p[0] <= threshold, name="sB")
+    union = Union(name="union")
+    aggregate = Aggregate([count(), sum_of(0)], group_key=lambda p: (p[0],), name="agg")
+    sa.subscribe(union, 0)
+    sb.subscribe(union, 1)
+    union.subscribe(aggregate, 0)
+    return Box(
+        taps={"A": [(sa, 0)], "B": [(sb, 0)]}, root=aggregate, label="agg-filtered"
+    )
+
+
+# --------------------------------------------------------------------- #
+# Difference scenario
+# --------------------------------------------------------------------- #
+
+
+def difference_box() -> Box:
+    diff = Difference(name="difference")
+    return Box(taps={"A": [(diff, 0)], "B": [(diff, 1)]}, root=diff, label="difference")
+
+
+def difference_filtered_box(threshold: int) -> Box:
+    """Equivalent plan: selection pushed below the difference."""
+    sa = Select(lambda p: p[0] <= threshold, name="sA")
+    sb = Select(lambda p: p[0] <= threshold, name="sB")
+    diff = Difference(name="difference")
+    sa.subscribe(diff, 0)
+    sb.subscribe(diff, 1)
+    return Box(taps={"A": [(sa, 0)], "B": [(sb, 0)]}, root=diff, label="difference-filtered")

@@ -1,0 +1,66 @@
+"""Tests for heartbeats / punctuation."""
+
+import pytest
+
+from repro.streams import (
+    END_OF_STREAM,
+    Heartbeat,
+    PhysicalStream,
+    with_periodic_heartbeats,
+)
+from repro.streams.heartbeat import split_items
+from repro.temporal import element
+from repro.temporal.time import MAX_TIME
+
+
+class TestHeartbeat:
+    def test_end_of_stream_sentinel(self):
+        assert END_OF_STREAM.is_end_of_stream
+        assert END_OF_STREAM.timestamp == MAX_TIME
+
+    def test_ordinary_heartbeat(self):
+        assert not Heartbeat(10).is_end_of_stream
+
+    def test_negative_timestamp_rejected(self):
+        with pytest.raises(ValueError):
+            Heartbeat(-1)
+
+
+class TestPeriodicHeartbeats:
+    def test_heartbeats_interleaved(self):
+        stream = PhysicalStream([element("a", 0, 5), element("b", 25, 30)])
+        items = list(with_periodic_heartbeats(stream, period=10))
+        elements, beats = split_items(iter(items))
+        assert len(elements) == 2
+        # Beats at (or before) 10 and 20, plus the terminal one.
+        assert beats[-1].is_end_of_stream
+        assert len(beats) >= 3
+
+    def test_heartbeat_promises_are_sound(self):
+        stream = PhysicalStream(
+            [element(i, t, t + 5) for i, t in enumerate(range(0, 100, 7))]
+        )
+        items = list(with_periodic_heartbeats(stream, period=10))
+        promised = 0
+        for item in items:
+            if isinstance(item, Heartbeat):
+                promised = max(promised, item.timestamp)
+            else:
+                # No element may start before an earlier promise.
+                assert item.start >= promised or promised == MAX_TIME
+
+    def test_terminal_heartbeat_always_present(self):
+        items = list(with_periodic_heartbeats(PhysicalStream(), period=10))
+        assert items == [END_OF_STREAM]
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            list(with_periodic_heartbeats(PhysicalStream(), period=0))
+
+
+class TestSplitItems:
+    def test_partition(self):
+        items = iter([element("a", 0, 5), Heartbeat(3), element("b", 4, 9)])
+        elements, beats = split_items(items)
+        assert len(elements) == 2
+        assert len(beats) == 1

@@ -1,0 +1,83 @@
+"""Tests for the sink instruments."""
+
+from repro.streams import CallbackSink, CollectorSink, LatencySink, RateSink
+from repro.temporal import element
+
+
+class TestCollectorSink:
+    def test_collects_in_order(self):
+        sink = CollectorSink()
+        sink.process(element("a", 0, 5))
+        sink.process(element("b", 1, 6))
+        assert [e.payload for e in sink.elements] == [("a",), ("b",)]
+
+    def test_heartbeats_ignored(self):
+        sink = CollectorSink()
+        sink.process_heartbeat(100)
+        assert len(sink) == 0
+
+    def test_as_stream(self):
+        sink = CollectorSink()
+        sink.process(element("a", 0, 5))
+        assert len(sink.as_stream()) == 1
+
+
+class TestRateSink:
+    def test_counts_per_bucket_of_emission_clock(self):
+        clock = {"now": 0}
+        sink = RateSink(bucket_size=10, clock=lambda: clock["now"])
+        clock["now"] = 3
+        sink.process(element("a", 0, 5))
+        sink.process(element("b", 1, 5))
+        clock["now"] = 25
+        sink.process(element("c", 2, 5))
+        assert sink.counts == {0: 2, 2: 1}
+
+    def test_rate_series_zero_fills(self):
+        clock = {"now": 0}
+        sink = RateSink(bucket_size=10, clock=lambda: clock["now"])
+        sink.process(element("a", 0, 5))
+        clock["now"] = 35
+        sink.process(element("b", 1, 5))
+        assert sink.rate_series() == [1, 0, 0, 1]
+
+    def test_burst_attributed_to_flush_time_not_start_timestamp(self):
+        """The Figure 4 burst: buffered results count at flush time."""
+        clock = {"now": 400}
+        sink = RateSink(bucket_size=10, clock=lambda: clock["now"])
+        for t in range(5):
+            sink.process(element(f"x{t}", t, t + 5))
+        assert sink.counts == {40: 5}
+
+    def test_invalid_bucket_size(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            RateSink(bucket_size=0, clock=lambda: 0)
+
+
+class TestLatencySink:
+    def test_delay_measured_against_clock(self):
+        clock = {"now": 100}
+        sink = LatencySink(clock=lambda: clock["now"])
+        sink.process(element("a", 40, 50))
+        assert sink.delays == [60]
+        assert sink.max_delay() == 60
+
+    def test_no_negative_delays(self):
+        sink = LatencySink(clock=lambda: 0)
+        sink.process(element("a", 40, 50))
+        assert sink.delays == [0]
+
+    def test_max_delay_empty(self):
+        assert LatencySink(clock=lambda: 0).max_delay() == 0
+
+
+class TestCallbackSink:
+    def test_invokes_callback(self):
+        seen = []
+        sink = CallbackSink(seen.append)
+        sink.process(element("a", 0, 5))
+        sink.process_heartbeat(10)
+        assert len(seen) == 1
+        assert sink.count == 1

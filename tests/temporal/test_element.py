@@ -1,0 +1,120 @@
+"""Tests for stream element representations and PT lineage flags."""
+
+import pytest
+
+from repro.temporal import (
+    NEW,
+    OLD,
+    PNElement,
+    Sign,
+    StreamElement,
+    TimeInterval,
+    as_payload,
+    combine_flags,
+    element,
+    negative,
+    positive,
+)
+
+
+class TestPayloadCoercion:
+    def test_scalar_becomes_singleton_tuple(self):
+        assert as_payload(5) == (5,)
+
+    def test_tuple_passes_through(self):
+        assert as_payload((1, 2)) == (1, 2)
+
+    def test_list_converted(self):
+        assert as_payload([1, 2]) == (1, 2)
+
+    def test_string_is_a_scalar(self):
+        assert as_payload("ab") == ("ab",)
+
+
+class TestStreamElement:
+    def test_constructor_helper(self):
+        e = element("a", 3, 7)
+        assert e.payload == ("a",)
+        assert e.start == 3
+        assert e.end == 7
+
+    def test_non_tuple_payload_rejected(self):
+        with pytest.raises(TypeError):
+            StreamElement("a", TimeInterval(0, 1))
+
+    def test_validity_check(self):
+        e = element("a", 3, 7)
+        assert e.is_valid_at(3)
+        assert e.is_valid_at(6)
+        assert not e.is_valid_at(7)
+
+    def test_with_interval_preserves_payload_and_flag(self):
+        e = element("a", 3, 7).with_flag(OLD)
+        moved = e.with_interval(TimeInterval(10, 12))
+        assert moved.payload == ("a",)
+        assert moved.flag == OLD
+        assert moved.start == 10
+
+    def test_with_payload_preserves_interval_and_flag(self):
+        e = element("a", 3, 7).with_flag(NEW)
+        renamed = e.with_payload(("b",))
+        assert renamed.interval == TimeInterval(3, 7)
+        assert renamed.flag == NEW
+
+    def test_with_flag(self):
+        e = element("a", 3, 7)
+        assert e.flag is None
+        assert e.with_flag(OLD).flag == OLD
+        assert e.with_flag(OLD).with_flag(None).flag is None
+
+    def test_value_equality(self):
+        assert element("a", 3, 7) == element("a", 3, 7)
+        assert element("a", 3, 7) != element("a", 3, 8)
+        assert element("a", 3, 7) != element("b", 3, 7)
+
+    def test_hashable(self):
+        assert len({element("a", 3, 7), element("a", 3, 7)}) == 1
+
+
+class TestCombineFlags:
+    """Section 3.1: a result is NEW only if all constituents are NEW."""
+
+    def test_both_unflagged(self):
+        assert combine_flags(None, None) is None
+
+    def test_both_new(self):
+        assert combine_flags(NEW, NEW) == NEW
+
+    def test_any_old_wins(self):
+        assert combine_flags(OLD, NEW) == OLD
+        assert combine_flags(NEW, OLD) == OLD
+        assert combine_flags(OLD, OLD) == OLD
+
+    def test_unflagged_mixed_with_new_is_old(self):
+        # Unflagged means "was in state before migration start".
+        assert combine_flags(None, NEW) == OLD
+        assert combine_flags(NEW, None) == OLD
+
+
+class TestPNElement:
+    def test_positive_constructor(self):
+        e = positive("a", 5)
+        assert e.payload == ("a",)
+        assert e.timestamp == 5
+        assert e.is_positive and not e.is_negative
+
+    def test_negative_constructor(self):
+        e = negative("a", 9)
+        assert e.is_negative and not e.is_positive
+
+    def test_sign_rendering(self):
+        assert str(Sign.POSITIVE) == "+"
+        assert str(Sign.NEGATIVE) == "-"
+
+    def test_non_tuple_payload_rejected(self):
+        with pytest.raises(TypeError):
+            PNElement("a", 5, Sign.POSITIVE)
+
+    def test_value_equality(self):
+        assert positive("a", 5) == positive("a", 5)
+        assert positive("a", 5) != negative("a", 5)

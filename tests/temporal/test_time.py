@@ -1,0 +1,85 @@
+"""Tests for the application-time domain."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.temporal.time import (
+    CHRONON,
+    EPSILON,
+    MAX_TIME,
+    MIN_TIME,
+    is_finite,
+    validate_time,
+)
+
+
+class TestConstants:
+    def test_chronon_is_one_unit(self):
+        assert CHRONON == 1
+
+    def test_epsilon_is_half_a_chronon(self):
+        assert EPSILON == Fraction(1, 2)
+
+    def test_epsilon_lies_strictly_between_integers(self):
+        assert 0 < EPSILON < 1
+        assert 10 < 10 + EPSILON < 11
+
+    def test_max_time_dominates_finite_times(self):
+        assert MAX_TIME > 10**15
+
+    def test_time_origin(self):
+        assert MIN_TIME == 0
+
+
+class TestIsFinite:
+    def test_ordinary_timestamps_are_finite(self):
+        assert is_finite(0)
+        assert is_finite(12345)
+        assert is_finite(Fraction(7, 2))
+
+    def test_max_time_is_not_finite(self):
+        assert not is_finite(MAX_TIME)
+
+    def test_negative_is_not_finite(self):
+        assert not is_finite(-1)
+
+
+class TestValidateTime:
+    def test_accepts_ints(self):
+        assert validate_time(42) == 42
+
+    def test_accepts_fractions(self):
+        assert validate_time(Fraction(5, 2)) == Fraction(5, 2)
+
+    def test_rejects_floats(self):
+        with pytest.raises(TypeError):
+            validate_time(1.5)
+
+    def test_rejects_bools(self):
+        with pytest.raises(TypeError):
+            validate_time(True)
+
+    def test_rejects_strings(self):
+        with pytest.raises(TypeError):
+            validate_time("10")
+
+    def test_rejects_pre_origin_times(self):
+        with pytest.raises(ValueError):
+            validate_time(-3)
+
+
+class TestMixedComparisons:
+    """int/Fraction comparisons must be exact — T_split relies on this."""
+
+    def test_fraction_between_adjacent_ints(self):
+        t_split = 100 + EPSILON
+        assert 100 < t_split < 101
+
+    def test_fraction_equality_with_int_never_holds_for_epsilon_offsets(self):
+        for base in (0, 7, 10**9):
+            assert base + EPSILON != base
+            assert base + EPSILON != base + 1
+
+    def test_epsilon_arithmetic_is_exact(self):
+        assert (100 + EPSILON) + EPSILON == 101

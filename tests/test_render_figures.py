@@ -1,0 +1,37 @@
+"""Tests for the SVG chart generator behind the figure renderer."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "benchmarks"))
+
+from render_figures import _nice_ticks, line_chart, seconds
+
+
+class TestNiceTicks:
+    def test_covers_range(self):
+        ticks = _nice_ticks(0, 100)
+        assert ticks[0] <= 0 + (ticks[1] - ticks[0])
+        assert ticks[-1] >= 100 - (ticks[1] - ticks[0])
+
+    def test_degenerate_range(self):
+        assert _nice_ticks(5, 5) == [5]
+
+    def test_reasonable_count(self):
+        assert 3 <= len(_nice_ticks(0, 977)) <= 12
+
+
+class TestLineChart:
+    def test_valid_svg_with_all_series(self):
+        svg = line_chart(
+            "t", "x", "y",
+            {"a": ([0, 1, 2], [0, 5, 3]), "b": ([0, 1, 2], [2, 2, 2])},
+            annotations=[(1, "event")],
+        )
+        assert svg.startswith("<svg") and svg.endswith("</svg>")
+        assert svg.count("<polyline") == 2
+        assert "event" in svg
+        assert "stroke-dasharray" in svg  # the annotation line
+
+    def test_seconds_helper(self):
+        assert seconds([0, 0, 0], bucket=200) == [0.0, 0.2, 0.4]
