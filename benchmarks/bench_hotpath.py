@@ -1,0 +1,242 @@
+#!/usr/bin/env python
+"""Hot-path microbenchmark: steady-state throughput of a 4-way join plan.
+
+Measures ingested elements per second for the paper's 4-way nested-loops
+equi-join tree at ~10k elements of live operator state, in two scenarios:
+
+* ``steady``         — no migration, pure steady-state processing;
+* ``genmig_inflight``— the same workload while a GenMig migration from the
+  left-deep to the right-deep join tree is in its parallel phase (both
+  boxes plus split/coalesce are live for the whole measurement window).
+
+The timed window starts only after the window operators have filled the
+join states (warm state) and, for the migration scenario, lies entirely
+inside the parallel phase, so the numbers reflect the per-element hot
+path: probing, staging, watermark-driven purging and metrics accounting.
+
+Results are written to ``BENCH_hotpath.json``.  Pass ``--baseline
+path/to/old.json`` to embed a previously captured run (e.g. from the
+commit before a performance change) and the resulting speedup factors.
+
+Usage:
+    python benchmarks/bench_hotpath.py              # full run
+    python benchmarks/bench_hotpath.py --smoke      # seconds-fast CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Tuple
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.core import GenMig  # noqa: E402
+from repro.engine import Box, MetricsRecorder, QueryExecutor  # noqa: E402
+from repro.operators import CostMeter, NestedLoopsJoin  # noqa: E402
+from repro.streams import PhysicalStream  # noqa: E402
+from repro.temporal import element  # noqa: E402
+
+STREAMS = ("A", "B", "C", "D")
+
+#: Knuth multiplicative hash constant — deterministic pseudo-random payloads
+#: without seeding a PRNG per run.
+_MIX = 2654435761
+
+
+@dataclass(frozen=True)
+class HotpathConfig:
+    """One benchmark configuration (all times in chronons)."""
+
+    count: int          # elements per stream
+    rate: int           # elements per chronon per stream
+    window: int         # time window applied to every input
+    migrate_at: int     # GenMig trigger time (genmig_inflight scenario)
+    measure_start: int  # timed section: first element start included
+    measure_end: int    # timed section: first element start excluded
+    domain: int         # payload values drawn from [0, domain)
+    bucket: int         # metrics bucket size
+
+    @property
+    def span(self) -> int:
+        return self.count // self.rate
+
+    @property
+    def target_state(self) -> int:
+        """Approximate live join-state size inside the timed window."""
+        return len(STREAMS) * (self.window + 1) * self.rate
+
+
+FULL = HotpathConfig(
+    count=5600, rate=4, window=625, migrate_at=700,
+    measure_start=700, measure_end=1200, domain=4096, bucket=50,
+)
+
+SMOKE = HotpathConfig(
+    count=560, rate=4, window=50, migrate_at=60,
+    measure_start=60, measure_end=100, domain=512, bucket=20,
+)
+
+
+def make_events(config: HotpathConfig) -> List[Tuple[str, object]]:
+    """The globally ordered ingestion sequence of all four streams."""
+    events: List[Tuple[str, object]] = []
+    for i in range(config.count):
+        t = i // config.rate
+        for s, name in enumerate(STREAMS):
+            value = ((i * len(STREAMS) + s) * _MIX) % config.domain
+            events.append((name, element(value, t, t + 1)))
+    return events
+
+
+def _join(name: str) -> NestedLoopsJoin:
+    return NestedLoopsJoin(lambda l, r: l[0] == r[0], name=name)
+
+
+def left_deep_box() -> Box:
+    j1, j2, j3 = _join("AB"), _join("ABC"), _join("ABCD")
+    j1.subscribe(j2, 0)
+    j2.subscribe(j3, 0)
+    return Box(
+        taps={"A": [(j1, 0)], "B": [(j1, 1)], "C": [(j2, 1)], "D": [(j3, 1)]},
+        root=j3,
+        label="((A⋈B)⋈C)⋈D",
+    )
+
+
+def right_deep_box() -> Box:
+    j1, j2, j3 = _join("CD"), _join("BCD"), _join("ABCD")
+    j1.subscribe(j2, 1)
+    j2.subscribe(j3, 1)
+    return Box(
+        taps={"A": [(j3, 0)], "B": [(j2, 0)], "C": [(j1, 0)], "D": [(j1, 1)]},
+        root=j3,
+        label="A⋈(B⋈(C⋈D))",
+    )
+
+
+def run_scenario(config: HotpathConfig, migrate: bool) -> Dict[str, object]:
+    """Push the workload through an executor, timing the measurement window."""
+    sources = {name: PhysicalStream([], name) for name in STREAMS}
+    windows = {name: config.window for name in STREAMS}
+    metrics = MetricsRecorder(bucket_size=config.bucket)
+    executor = QueryExecutor(
+        sources, windows, left_deep_box(), metrics=metrics, meter=CostMeter()
+    )
+    if migrate:
+        executor.schedule_migration(config.migrate_at, right_deep_box(), GenMig())
+
+    timed_elements = 0
+    timed_seconds = 0.0
+    started: Optional[float] = None
+    state_at_start = 0
+    for name, e in make_events(config):
+        if started is None and e.start >= config.measure_start:
+            state_at_start = executor.state_value_count()
+            started = time.perf_counter()
+        if started is not None and timed_seconds == 0.0 and e.start >= config.measure_end:
+            timed_seconds = time.perf_counter() - started
+        executor.push(name, e)
+        if started is not None and timed_seconds == 0.0:
+            timed_elements += 1
+    if started is not None and timed_seconds == 0.0:
+        timed_seconds = time.perf_counter() - started
+    executor.finish()
+
+    result: Dict[str, object] = {
+        "elements_timed": timed_elements,
+        "seconds": round(timed_seconds, 6),
+        "elements_per_sec": round(timed_elements / timed_seconds, 1),
+        "state_values_at_measure_start": state_at_start,
+        "results_delivered": executor.gate.delivered,
+    }
+    if migrate:
+        report = executor.migration_log[0]
+        result["migration"] = {
+            "strategy": report.strategy,
+            "t_split": str(report.t_split),
+            "started_at": report.started_at,
+            "completed_at": report.completed_at,
+        }
+        # The timed window must lie inside the parallel phase, otherwise the
+        # scenario silently degenerates to the steady one.
+        assert report.started_at <= config.measure_start, "migration started late"
+        assert report.completed_at >= config.measure_end, "migration ended early"
+    return result
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny configuration for CI bitrot checks (seconds, not minutes)",
+    )
+    parser.add_argument(
+        "--output", default=None,
+        help="path of the JSON report (default: BENCH_hotpath.json beside this script)",
+    )
+    parser.add_argument(
+        "--baseline", default=None,
+        help="a previous BENCH_hotpath.json to compare against (embeds speedups)",
+    )
+    args = parser.parse_args(argv)
+
+    config = SMOKE if args.smoke else FULL
+    output = args.output or os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_hotpath.json"
+    )
+    baseline = None
+    if args.baseline:
+        # Load before the (minutes-long) run so a bad path fails fast.
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
+
+    report: Dict[str, object] = {
+        "benchmark": "hotpath-4way-join",
+        "mode": "smoke" if args.smoke else "full",
+        "config": asdict(config),
+        "target_state_values": config.target_state,
+        "python": platform.python_version(),
+        "scenarios": {},
+    }
+    for key, migrate in (("steady", False), ("genmig_inflight", True)):
+        result = run_scenario(config, migrate)
+        report["scenarios"][key] = result
+        print(
+            f"{key:16s} {result['elements_per_sec']:>12.1f} elements/sec "
+            f"({result['elements_timed']} elements in {result['seconds']:.3f} s, "
+            f"{result['state_values_at_measure_start']} state values)"
+        )
+
+    if baseline is not None:
+        comparison = {}
+        for key, result in report["scenarios"].items():
+            before = baseline.get("scenarios", {}).get(key)
+            if before:
+                speedup = result["elements_per_sec"] / before["elements_per_sec"]
+                comparison[key] = {
+                    "baseline_elements_per_sec": before["elements_per_sec"],
+                    "speedup": round(speedup, 2),
+                }
+                print(f"{key:16s} speedup vs baseline: {speedup:.2f}x")
+        report["baseline"] = {
+            "path": os.path.basename(args.baseline),
+            "comparison": comparison,
+        }
+
+    with open(output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

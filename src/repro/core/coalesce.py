@@ -23,11 +23,11 @@ drained and no match can arrive anymore.
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Deque, Dict, Iterator
+from typing import Iterator
 
 from ..operators.base import StatefulOperator
-from ..temporal.element import Payload, StreamElement
+from ..operators.sweep import FifoSweepTable
+from ..temporal.element import StreamElement
 from ..temporal.interval import TimeInterval
 from ..temporal.time import Time
 
@@ -39,12 +39,13 @@ class Coalesce(StatefulOperator):
         super().__init__(arity=2, name=name or f"coalesce[{t_split}]")
         self.t_split = t_split
         # M0: old-box halves ending at T_split, keyed by payload (FIFO bags).
-        self._m0: Dict[Payload, Deque[StreamElement]] = {}
+        self._m0 = FifoSweepTable()
         # M1: new-box halves starting at T_split.
-        self._m1: Dict[Payload, Deque[StreamElement]] = {}
+        self._m1 = FifoSweepTable()
         self.merged_count = 0
         #: Largest number of payload values ever held (tables + staging
-        #: heap) — the Section 4.4 skew-sensitivity metric.
+        #: heap) — the Section 4.4 skew-sensitivity metric.  Tracked per
+        #: element from the O(1) running counters.
         self.peak_value_count = 0
 
     def _on_element(self, element: StreamElement, port: int) -> None:
@@ -59,11 +60,8 @@ class Coalesce(StatefulOperator):
             self._stage(element)
             return
         own, other = (self._m0, self._m1) if port == 0 else (self._m1, self._m0)
-        candidates = other.get(element.payload)
-        if candidates:
-            partner = candidates.popleft()
-            if not candidates:
-                del other[element.payload]
+        partner = other.match(element.payload)
+        if partner is not None:
             old_half, new_half = (partner, element) if port == 1 else (element, partner)
             merged = StreamElement(
                 element.payload, TimeInterval(old_half.start, new_half.end)
@@ -71,38 +69,27 @@ class Coalesce(StatefulOperator):
             self.merged_count += 1
             self._stage(merged)
         else:
-            own.setdefault(element.payload, deque()).append(element)
+            own.add(element)
 
     def _on_watermark(self, watermark: Time) -> None:
+        # Strictly below: an entry starting exactly at the watermark can
+        # still merge with a partner arriving this round without risking an
+        # ordering violation.
         for table in (self._m0, self._m1):
-            emptied = []
-            for payload, entries in table.items():
-                # Strictly below: an entry starting exactly at the watermark
-                # can still merge with a partner arriving this round without
-                # risking an ordering violation.
-                while entries and entries[0].start < watermark:
-                    self._stage(entries.popleft())
-                if not entries:
-                    emptied.append(payload)
-            for payload in emptied:
-                del table[payload]
+            for entry in table.evict_until(watermark):
+                self._stage(entry)
+
+    def _state_value_count(self) -> int:
+        return self._m0.value_count() + self._m1.value_count()
 
     def flush_tables(self) -> None:
         """Move any remaining halves to the output (migration teardown)."""
-        leftovers = [
-            entry
-            for table in (self._m0, self._m1)
-            for entries in table.values()
-            for entry in entries
-        ]
+        leftovers = self._m0.drain() + self._m1.drain()
         leftovers.sort(key=lambda e: (e.start, e.end))
         for entry in leftovers:
             self._stage(entry)
-        self._m0.clear()
-        self._m1.clear()
         self.flush()
 
     def state_elements(self) -> Iterator[StreamElement]:
-        for table in (self._m0, self._m1):
-            for entries in table.values():
-                yield from entries
+        yield from self._m0
+        yield from self._m1

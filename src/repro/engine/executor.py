@@ -15,6 +15,7 @@ under which application and system time coincide (Section 4.4).
 
 from __future__ import annotations
 
+import heapq
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..operators.base import NULL_METER, CostMeter, Operator
@@ -151,8 +152,7 @@ class QueryExecutor:
     def schedule(self, at: Time, action: Callable[[], None]) -> None:
         """Run ``action`` once the clock reaches application time ``at``."""
         self._action_sequence += 1
-        self._actions.append((at, self._action_sequence, action))
-        self._actions.sort(key=lambda entry: (entry[0], entry[1]))
+        heapq.heappush(self._actions, (at, self._action_sequence, action))
 
     def schedule_migration(self, at: Time, new_box: Box, strategy: object) -> None:
         """Schedule a migration to ``new_box`` via ``strategy`` at time ``at``."""
@@ -240,7 +240,7 @@ class QueryExecutor:
 
     def _fire_actions(self, up_to: Time) -> None:
         while self._actions and self._actions[0][0] <= up_to:
-            _, _, action = self._actions.pop(0)
+            action = heapq.heappop(self._actions)[2]
             action()
 
     # ------------------------------------------------------------------ #

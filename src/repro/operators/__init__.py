@@ -34,6 +34,7 @@ from .scalar import (
     min_of,
     sum_of,
 )
+from .sweep import FifoSweepTable, KeyedSweepArea, SweepArea
 from .union import Union
 from .window import CountWindow, NowWindow, TimeWindow, UnboundedWindow
 
@@ -44,7 +45,9 @@ __all__ = [
     "CountWindow",
     "Difference",
     "DuplicateElimination",
+    "FifoSweepTable",
     "HashJoin",
+    "KeyedSweepArea",
     "NULL_METER",
     "NestedLoopsJoin",
     "NowWindow",
@@ -54,6 +57,7 @@ __all__ = [
     "Select",
     "StatefulOperator",
     "StatelessOperator",
+    "SweepArea",
     "TimeWindow",
     "UnboundedWindow",
     "Union",

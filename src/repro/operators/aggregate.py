@@ -22,6 +22,7 @@ from ..temporal.interval import TimeInterval
 from ..temporal.time import MAX_TIME, MIN_TIME, Time
 from .base import StatefulOperator
 from .scalar import AggregateFunction
+from .sweep import SweepArea
 
 
 def merge_flags(flags: Sequence[Optional[str]]) -> Optional[str]:
@@ -63,7 +64,7 @@ class Aggregate(StatefulOperator):
             raise ValueError("at least one aggregate function is required")
         self.functions = tuple(functions)
         self.group_key = group_key
-        self._open: List[StreamElement] = []
+        self._open = SweepArea()
         self._frontier: Time = MIN_TIME
 
     def _on_element(self, element: StreamElement, port: int) -> None:
@@ -75,15 +76,20 @@ class Aggregate(StatefulOperator):
                 f"{self.name}: element starts at {element.start} before "
                 f"finalisation frontier {self._frontier}"
             )
-        self._open.append(element)
+        self._open.insert(element)
 
     def _on_watermark(self, watermark: Time) -> None:
         if watermark <= self._frontier:
             return
         self._finalise(self._frontier, min(watermark, MAX_TIME))
         self._frontier = watermark
-        if any(self._expired(e, watermark) for e in self._open):
-            self._open = [e for e in self._open if not self._expired(e, watermark)]
+        self._open.expire(watermark)
+
+    def _on_retention_change(self) -> None:
+        self._open.set_retention(self._retention)
+
+    def _state_value_count(self) -> int:
+        return self._open.value_count()
 
     def _finalise(self, lo: Time, hi: Time) -> None:
         """Emit aggregate results for every instant in ``[lo, hi)``."""

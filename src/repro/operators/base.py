@@ -24,6 +24,7 @@ from typing import Callable, Iterator, List, Optional, Tuple
 
 from ..temporal.element import StreamElement
 from ..temporal.time import MAX_TIME, MIN_TIME, Time
+from . import sweep
 
 
 class CostMeter:
@@ -93,6 +94,8 @@ class Operator:
         self._heap: List[Tuple[Time, int, StreamElement]] = []
         self._sequence = itertools.count()
         self._emitted_watermark: Time = MIN_TIME
+        self._purged_watermark: Time = MIN_TIME
+        self._staged_values = 0
 
     # ------------------------------------------------------------------ #
     # Wiring
@@ -188,11 +191,25 @@ class Operator:
     #: 2.2 (purge once ``t_E <= watermark``).  The Parallel Track baseline
     #: installs the slower tuple-timestamp rule of Zhu et al. here, which is
     #: what stretches its migration to ~2w (Section 4.4 of the paper).
-    retention: Optional[Callable[[StreamElement], Time]] = None
+    #: Assigning it mid-life re-keys any expiry-ordered state indexes via
+    #: :meth:`_on_retention_change`.
+    _retention: Optional[Callable[[StreamElement], Time]] = None
+
+    @property
+    def retention(self) -> Optional[Callable[[StreamElement], Time]]:
+        return self._retention
+
+    @retention.setter
+    def retention(self, rule: Optional[Callable[[StreamElement], Time]]) -> None:
+        self._retention = rule
+        self._on_retention_change()
+
+    def _on_retention_change(self) -> None:
+        """Re-key expiry-indexed state; overridden by sweep-area operators."""
 
     def _expired(self, element: StreamElement, watermark: Time) -> bool:
         """Decide whether a state element may be purged at ``watermark``."""
-        expiry = self.retention(element) if self.retention is not None else element.end
+        expiry = self._retention(element) if self._retention is not None else element.end
         return expiry <= watermark
 
     def state_value_count(self) -> int:
@@ -200,8 +217,29 @@ class Operator:
 
         Counts attribute values rather than elements, matching the paper's
         "we only measured the memory allocated for the values"; staged but
-        unreleased output is included since it occupies memory too.
+        unreleased output is included since it occupies memory too.  The
+        count is maintained incrementally (O(1) here); the old iterator-
+        based recount survives as :meth:`state_value_count_slow` and is
+        asserted against under ``sweep.DEBUG``.
         """
+        count = self._staged_values + self._state_value_count()
+        if sweep.DEBUG:
+            recount = self.state_value_count_slow()
+            assert count == recount, (
+                f"{self.name}: incremental value count {count} != recount {recount}"
+            )
+        return count
+
+    def _state_value_count(self) -> int:
+        """Payload values in operator state (excluding staged output).
+
+        Sweep-area operators override this with their O(1) running
+        counters; the default recounts by iteration.
+        """
+        return sum(len(e.payload) for e in self.state_elements())
+
+    def state_value_count_slow(self) -> int:
+        """The pre-index count: recompute by iterating all held elements."""
         staged = sum(len(e.payload) for _, _, e in self._heap)
         return staged + sum(len(e.payload) for e in self.state_elements())
 
@@ -227,6 +265,7 @@ class Operator:
         """Queue ``element`` for ordered release (or emit now if stateless)."""
         if self._ordered_output:
             heapq.heappush(self._heap, (element.start, next(self._sequence), element))
+            self._staged_values += len(element.payload)
         else:
             self._emit(element)
 
@@ -240,12 +279,23 @@ class Operator:
         return watermark
 
     def _advance(self) -> None:
-        """Run expiration and release ordered output up to the watermark."""
+        """Run expiration and release ordered output up to the watermark.
+
+        Expiration (:meth:`_on_watermark`) only runs when the minimum
+        watermark actually moved since the last call: heartbeats that
+        raise a non-minimal port's watermark cannot expire anything, and
+        skipping them keeps redundant purge work off the hot path.
+        """
         watermark = self.min_watermark
-        self._on_watermark(watermark)
+        if watermark > self._purged_watermark:
+            self._purged_watermark = watermark
+            self._on_watermark(watermark)
         if self._ordered_output:
-            while self._heap and self._heap[0][0] <= watermark:
-                self._emit(heapq.heappop(self._heap)[2])
+            heap = self._heap
+            while heap and heap[0][0] <= watermark:
+                element = heapq.heappop(heap)[2]
+                self._staged_values -= len(element.payload)
+                self._emit(element)
         promise = self._output_watermark(watermark)
         if promise > self._emitted_watermark:
             self._emitted_watermark = promise
@@ -255,6 +305,7 @@ class Operator:
         """Release all staged output unconditionally (end-of-stream drain)."""
         while self._heap:
             self._emit(heapq.heappop(self._heap)[2])
+        self._staged_values = 0
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name!r}>"

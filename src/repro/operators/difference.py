@@ -13,13 +13,17 @@ strategy is unsound (Note 1 in the paper) — GenMig handles it unchanged.
 
 from __future__ import annotations
 
+import heapq
+import itertools
 from typing import Dict, Iterator, List, Tuple
 
 from ..temporal.element import Payload, StreamElement
 from ..temporal.interval import TimeInterval
 from ..temporal.time import MAX_TIME, MIN_TIME, Time
+from . import sweep
 from .aggregate import merge_flags
 from .base import StatefulOperator
+from .sweep import SweepArea
 
 
 class Difference(StatefulOperator):
@@ -28,30 +32,76 @@ class Difference(StatefulOperator):
     def __init__(self, name: str = "") -> None:
         super().__init__(arity=2, name=name or "difference")
         # Per payload, the not-yet-finalised elements of each input side.
-        self._state: Dict[Payload, Tuple[List[StreamElement], List[StreamElement]]] = {}
+        self._state: Dict[Payload, Tuple[SweepArea, SweepArea]] = {}
+        # Payload-level expiry index: which payload entries to visit at a
+        # given watermark; the per-payload sweep areas pop the elements.
+        self._expiry_heap: List[Tuple[Time, int, Payload]] = []
+        self._seq = itertools.count()
+        self._values = 0
         self._frontier: Time = MIN_TIME
 
     def _on_element(self, element: StreamElement, port: int) -> None:
         self.meter.charge(1, "difference")
         sides = self._state.get(element.payload)
         if sides is None:
-            sides = ([], [])
+            sides = (SweepArea(self._retention), SweepArea(self._retention))
             self._state[element.payload] = sides
-        sides[port].append(element)
+        area = sides[port]
+        area.insert(element)
+        heapq.heappush(
+            self._expiry_heap,
+            (area.expiry_of(element), next(self._seq), element.payload),
+        )
+        self._values += len(element.payload)
 
     def _on_watermark(self, watermark: Time) -> None:
         if watermark <= self._frontier:
             return
         self._finalise(self._frontier, min(watermark, MAX_TIME))
         self._frontier = watermark
-        emptied = []
-        for payload, (left, right) in self._state.items():
-            left[:] = [e for e in left if not self._expired(e, watermark)]
-            right[:] = [e for e in right if not self._expired(e, watermark)]
+        self._purge(watermark)
+
+    def _purge(self, watermark: Time) -> None:
+        if sweep.FORCE_SCAN:
+            emptied = []
+            for payload, (left, right) in self._state.items():
+                self._drop(left.expire(watermark))
+                self._drop(right.expire(watermark))
+                if not left and not right:
+                    emptied.append(payload)
+            for payload in emptied:
+                del self._state[payload]
+            return
+        heap = self._expiry_heap
+        while heap and heap[0][0] <= watermark:
+            _, _, payload = heapq.heappop(heap)
+            sides = self._state.get(payload)
+            if sides is None:
+                continue
+            left, right = sides
+            self._drop(left.expire(watermark))
+            self._drop(right.expire(watermark))
             if not left and not right:
-                emptied.append(payload)
-        for payload in emptied:
-            del self._state[payload]
+                del self._state[payload]
+
+    def _drop(self, expired: List[StreamElement]) -> None:
+        for element in expired:
+            self._values -= len(element.payload)
+
+    def _on_retention_change(self) -> None:
+        entries: List[Tuple[Time, int, Payload]] = []
+        for payload, sides in self._state.items():
+            for area in sides:
+                area.set_retention(self._retention)
+                for element in area:
+                    entries.append(
+                        (area.expiry_of(element), next(self._seq), payload)
+                    )
+        heapq.heapify(entries)
+        self._expiry_heap = entries
+
+    def _state_value_count(self) -> int:
+        return self._values
 
     def _finalise(self, lo: Time, hi: Time) -> None:
         for payload, (left, right) in self._state.items():

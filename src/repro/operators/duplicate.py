@@ -5,15 +5,27 @@ payloads and intersecting time intervals — at every snapshot, every payload
 appears at most once.  The implementation keeps, per payload, the set of
 instants already covered by emitted output and forwards only the uncovered
 remainder of each incoming element's validity.
+
+Coverage is purged by an expiry heap over interval end timestamps: a
+watermark advance only visits payloads that actually have coverage ending
+at or below it, instead of sweeping every payload.  Stored intervals may
+therefore trail the watermark by a truncation; :meth:`state_elements`
+presents the watermark-truncated view, which is what the eager per-payload
+sweep used to materialise.  Subtraction is unaffected because incoming
+elements never start below the watermark.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator
+import heapq
+import itertools
+from typing import Dict, Iterator, List, Tuple
 
 from ..temporal.element import Payload, StreamElement
+from ..temporal.interval import TimeInterval
 from ..temporal.intervalset import IntervalSet
 from ..temporal.time import Time
+from . import sweep
 from .base import StatefulOperator
 
 
@@ -23,6 +35,12 @@ class DuplicateElimination(StatefulOperator):
     def __init__(self, name: str = "") -> None:
         super().__init__(arity=1, name=name or "distinct")
         self._coverage: Dict[Payload, IntervalSet] = {}
+        # One entry per emitted remainder: fires once the watermark reaches
+        # its end.  A merged coverage interval's end always equals some
+        # remainder's end, so every interval drop is heap-announced.
+        self._expiry_heap: List[Tuple[Time, int, Payload]] = []
+        self._seq = itertools.count()
+        self._values = 0
 
     def _on_element(self, element: StreamElement, port: int) -> None:
         self.meter.charge(1, "distinct")
@@ -30,22 +48,59 @@ class DuplicateElimination(StatefulOperator):
         if covered is None:
             covered = IntervalSet()
             self._coverage[element.payload] = covered
+        width = len(element.payload)
         for remainder in covered.subtract(element.interval):
             self.meter.charge(1, "distinct")
             self._stage(element.with_interval(remainder))
+            before = len(covered)
             covered.add(remainder)
+            self._values += (len(covered) - before) * width
+            heapq.heappush(
+                self._expiry_heap,
+                (remainder.end, next(self._seq), element.payload),
+            )
 
     def _on_watermark(self, watermark: Time) -> None:
-        emptied = []
-        for payload, covered in self._coverage.items():
-            if covered.max_end() <= watermark:
-                emptied.append(payload)
-            else:
-                covered.expire_before(watermark)
-        for payload in emptied:
-            del self._coverage[payload]
+        if sweep.FORCE_SCAN:
+            emptied = []
+            for payload, covered in self._coverage.items():
+                if covered.max_end() <= watermark:
+                    self._values -= len(covered) * len(payload)
+                    emptied.append(payload)
+                else:
+                    before = len(covered)
+                    covered.expire_before(watermark)
+                    self._values += (len(covered) - before) * len(payload)
+            for payload in emptied:
+                del self._coverage[payload]
+            heap = self._expiry_heap
+            while heap and heap[0][0] <= watermark:
+                heapq.heappop(heap)
+            return
+        heap = self._expiry_heap
+        while heap and heap[0][0] <= watermark:
+            _, _, payload = heapq.heappop(heap)
+            covered = self._coverage.get(payload)
+            if covered is None:
+                continue
+            before = len(covered)
+            covered.expire_before(watermark)
+            self._values += (len(covered) - before) * len(payload)
+            if not covered:
+                del self._coverage[payload]
+
+    def _state_value_count(self) -> int:
+        return self._values
 
     def state_elements(self) -> Iterator[StreamElement]:
+        # Present stored coverage truncated at the purge watermark: lazily
+        # purged payloads may hold intervals reaching below it, but those
+        # instants are already unreachable (no input can start before the
+        # watermark) and the eager sweep would have cut them.
+        watermark = self._purged_watermark
         for payload, covered in self._coverage.items():
             for interval in covered:
-                yield StreamElement(payload, interval)
+                if interval.start < watermark:
+                    yield StreamElement(payload, TimeInterval(watermark, interval.end))
+                else:
+                    yield StreamElement(payload, interval)

@@ -11,11 +11,12 @@ Section 2.2.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from typing import Any, Callable, Iterator, List, Optional
 
 from ..temporal.element import Payload, StreamElement, combine_flags
 from ..temporal.time import Time
 from .base import StatefulOperator
+from .sweep import KeyedSweepArea, SweepArea
 
 #: Payload combiner: receives (left_payload, right_payload).
 Combiner = Callable[[Payload, Payload], Payload]
@@ -78,7 +79,7 @@ class NestedLoopsJoin(_JoinBase):
         super().__init__(predicate_cost, name or "nl-join")
         self.predicate = predicate
         self.combiner = combiner
-        self._states: List[List[StreamElement]] = [[], []]
+        self._states: List[SweepArea] = [SweepArea(), SweepArea()]
 
     def _on_element(self, element: StreamElement, port: int) -> None:
         partner_state = self._states[1 - port]
@@ -94,14 +95,19 @@ class NestedLoopsJoin(_JoinBase):
                 self._match(element, partner, port)
         if self.selectivity_probe is not None and partner_state:
             self.selectivity_probe(len(partner_state), matches)
-        self._states[port].append(element)
+        self._states[port].insert(element)
         self.meter.charge(1, "join-insert")
 
     def _on_watermark(self, watermark: Time) -> None:
         for side in (0, 1):
-            state = self._states[side]
-            if any(self._expired(e, watermark) for e in state):
-                self._states[side] = [e for e in state if not self._expired(e, watermark)]
+            self._states[side].expire(watermark)
+
+    def _on_retention_change(self) -> None:
+        for side in (0, 1):
+            self._states[side].set_retention(self._retention)
+
+    def _state_value_count(self) -> int:
+        return self._states[0].value_count() + self._states[1].value_count()
 
     def state_elements(self) -> Iterator[StreamElement]:
         yield from self._states[0]
@@ -115,7 +121,9 @@ class NestedLoopsJoin(_JoinBase):
     def seed_state(self, port: int, elements: List[StreamElement]) -> None:
         """Replace one input's state wholesale — used by Moving States."""
         self._check_port(port)
-        self._states[port] = list(elements)
+        area = SweepArea(self._retention)
+        area.replace(elements)
+        self._states[port] = area
 
     def pair_matches(self, left: Payload, right: Payload) -> bool:
         """Whether two payloads satisfy the join predicate."""
@@ -142,13 +150,13 @@ class HashJoin(_JoinBase):
         super().__init__(predicate_cost, name or "hash-join")
         self.combiner = combiner
         self._keys = (left_key, right_key)
-        self._states: List[Dict[Any, List[StreamElement]]] = [{}, {}]
+        self._states: List[KeyedSweepArea] = [KeyedSweepArea(), KeyedSweepArea()]
 
     def _on_element(self, element: StreamElement, port: int) -> None:
         key = self._keys[port](element.payload)
         self.meter.charge(1, "join-hash")
         matches = 0
-        for partner in self._states[1 - port].get(key, ()):
+        for partner in self._states[1 - port].bucket(key):
             self.meter.charge(self.predicate_cost, "join-predicate")
             matches += 1
             self._match(element, partner, port)
@@ -156,41 +164,35 @@ class HashJoin(_JoinBase):
             # Selectivity relative to the full partner state: the hash
             # index prunes non-matching candidates, but the estimate must
             # describe the predicate, not the index.
-            tested = sum(len(bucket) for bucket in self._states[1 - port].values())
+            tested = len(self._states[1 - port])
             if tested:
                 self.selectivity_probe(tested, matches)
-        self._states[port].setdefault(key, []).append(element)
+        self._states[port].insert(key, element)
 
     def _on_watermark(self, watermark: Time) -> None:
         for side in (0, 1):
-            state = self._states[side]
-            emptied = []
-            for key, bucket in state.items():
-                if any(self._expired(e, watermark) for e in bucket):
-                    bucket[:] = [e for e in bucket if not self._expired(e, watermark)]
-                    if not bucket:
-                        emptied.append(key)
-            for key in emptied:
-                del state[key]
+            self._states[side].expire(watermark)
+
+    def _on_retention_change(self) -> None:
+        for side in (0, 1):
+            self._states[side].set_retention(self._retention)
+
+    def _state_value_count(self) -> int:
+        return self._states[0].value_count() + self._states[1].value_count()
 
     def state_elements(self) -> Iterator[StreamElement]:
-        for side in (0, 1):
-            for bucket in self._states[side].values():
-                yield from bucket
+        yield from self._states[0]
+        yield from self._states[1]
 
     def state_of_port(self, port: int) -> List[StreamElement]:
         """The alive elements received on one input — used by Moving States."""
         self._check_port(port)
-        return [e for bucket in self._states[port].values() for e in bucket]
+        return list(self._states[port])
 
     def seed_state(self, port: int, elements: List[StreamElement]) -> None:
         """Replace one input's state wholesale — used by Moving States."""
         self._check_port(port)
-        state: Dict[Any, List[StreamElement]] = {}
-        key_of = self._keys[port]
-        for element in elements:
-            state.setdefault(key_of(element.payload), []).append(element)
-        self._states[port] = state
+        self._states[port].replace(self._keys[port], elements)
 
     def pair_matches(self, left: Payload, right: Payload) -> bool:
         """Whether two payloads satisfy the (equi-)join predicate."""

@@ -1,0 +1,44 @@
+"""Tier-1 smoke run of the hot-path benchmark.
+
+Executes ``benchmarks/bench_hotpath.py --smoke`` exactly as a developer
+would, into a temporary report path, and validates the report shape.  This
+keeps the benchmark itself from bitrotting without spending minutes in the
+test suite; the committed ``BENCH_hotpath.json`` comes from a full run.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def test_hotpath_smoke_benchmark(tmp_path):
+    output = tmp_path / "BENCH_hotpath.json"
+    proc = subprocess.run(
+        [
+            sys.executable,
+            str(REPO / "benchmarks" / "bench_hotpath.py"),
+            "--smoke",
+            "--output",
+            str(output),
+        ],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    report = json.loads(output.read_text())
+    assert report["benchmark"] == "hotpath-4way-join"
+    assert report["mode"] == "smoke"
+    for key in ("steady", "genmig_inflight"):
+        scenario = report["scenarios"][key]
+        assert scenario["elements_timed"] > 0
+        assert scenario["elements_per_sec"] > 0
+        # Results are rare in the tiny smoke configuration (a 4-way
+        # equality match over a large payload domain); only require that
+        # the counter is wired, not that matches occurred.
+        assert scenario["results_delivered"] >= 0
+    # The migration scenario must actually have been mid-migration.
+    assert report["scenarios"]["genmig_inflight"]["migration"]["strategy"]

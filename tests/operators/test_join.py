@@ -135,7 +135,8 @@ class TestExpirationAndOrdering:
         join.process(element("k", 0, 10), 0)
         join.process_heartbeat(50, 0)
         join.process_heartbeat(50, 1)
-        assert join._states[0] == {}
+        assert not join._states[0]
+        assert not join._states[0]._buckets
 
     def test_state_of_port(self):
         join = equi_join(0, 0)
