@@ -58,6 +58,14 @@ from .engine import (
 )
 from .operators import CostMeter
 from .plans import PhysicalBuilder, Query
+from .service import (
+    AutonomicController,
+    ContinuousQueryService,
+    ControllerPolicy,
+    IngestHub,
+    QueryEventLog,
+    QueryRegistry,
+)
 from .streams import (
     CollectorSink,
     LatencySink,
@@ -81,12 +89,18 @@ from .temporal import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AutonomicController",
     "Box",
     "Catalog",
     "Coalesce",
     "CollectorSink",
+    "ContinuousQueryService",
+    "ControllerPolicy",
     "CostMeter",
     "GenMig",
+    "IngestHub",
+    "QueryEventLog",
+    "QueryRegistry",
     "GlobalOrderScheduler",
     "LatencySink",
     "MetricsRecorder",

@@ -17,7 +17,13 @@ from .moving_states import MovingStates
 from .parallel_track import ParallelTrack
 from .reference_point import ReferencePointGenMig
 from .split import ReferencePointSplit, Split
-from .strategy import MigrationReport, MigrationStrategy, UnsupportedPlanError
+from .strategy import (
+    MigrationReport,
+    MigrationStrategy,
+    UnsupportedPlanError,
+    classify_box,
+    select_strategy,
+)
 
 __all__ = [
     "Coalesce",
@@ -31,4 +37,6 @@ __all__ = [
     "ShortenedGenMig",
     "Split",
     "UnsupportedPlanError",
+    "classify_box",
+    "select_strategy",
 ]

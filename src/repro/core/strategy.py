@@ -79,3 +79,61 @@ class MigrationStrategy:
         if self._report is None:
             raise RuntimeError(f"{self.name}: migration has not completed")
         return self._report
+
+
+def classify_box(box) -> str:
+    """Classify a box by the migration strategies that are sound for it.
+
+    Returns ``"join-only"`` (joins plus stateless operators — the shapes
+    the Parallel Track baseline handles), ``"start-preserving"`` (adds the
+    order-restoring union — the reference-point optimization's scope) or
+    ``"general"`` (everything else: duplicate elimination, aggregation,
+    difference — GenMig-with-coalesce territory).
+    """
+    from ..operators.filter import Select
+    from ..operators.join import _JoinBase
+    from ..operators.project import Project
+    from ..operators.union import Union
+
+    join_only = True
+    start_preserving = True
+    for operator in box.operators:
+        if isinstance(operator, (_JoinBase, Select, Project)):
+            continue
+        join_only = False
+        if isinstance(operator, Union):
+            continue
+        start_preserving = False
+    if join_only:
+        return "join-only"
+    if start_preserving:
+        return "start-preserving"
+    return "general"
+
+
+def select_strategy(old_box, new_box, prefer: str = "auto") -> MigrationStrategy:
+    """Pick the cheapest sound migration strategy for an old/new box pair.
+
+    The default policy (``prefer="auto"``) uses the reference-point
+    optimization whenever both boxes are start-preserving (it saves the
+    coalesce operator's memory and CPU) and falls back to general GenMig
+    with coalesce otherwise — which is always sound.  ``prefer`` may name a
+    strategy explicitly (``"coalesce"``, ``"reference-point"``,
+    ``"parallel-track"``); an unsound preference silently degrades to the
+    closest sound choice rather than failing mid-flight — in particular the
+    Parallel Track baseline is only ever selected for join-only plans.
+    """
+    from .genmig import GenMig
+    from .parallel_track import ParallelTrack
+    from .reference_point import ReferencePointGenMig
+
+    if prefer not in ("auto", "coalesce", "reference-point", "parallel-track"):
+        raise ValueError(f"unknown strategy preference {prefer!r}")
+    if prefer == "coalesce":
+        return GenMig()
+    profiles = {classify_box(old_box), classify_box(new_box)}
+    if prefer == "parallel-track" and profiles == {"join-only"}:
+        return ParallelTrack()
+    if "general" not in profiles:
+        return ReferencePointGenMig()
+    return GenMig()

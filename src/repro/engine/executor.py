@@ -99,6 +99,10 @@ class QueryExecutor:
         self._action_sequence = 0
         self.strategy: Optional[object] = None
         self.migration_log: List[object] = []
+        #: Invoked with the :class:`~repro.core.strategy.MigrationReport`
+        #: each time a migration completes; the service layer's controller
+        #: uses it to close its hysteresis/cooldown loop.
+        self.on_migration_complete: Optional[Callable[[object], None]] = None
         #: Set once every input stream is exhausted; migration strategies
         #: use it to finalise even when the usual progress conditions (all
         #: inputs seen, watermarks past T_split) can no longer be met.
@@ -158,6 +162,11 @@ class QueryExecutor:
         """Schedule a migration to ``new_box`` via ``strategy`` at time ``at``."""
         self.schedule(at, lambda: self.start_migration(new_box, strategy))
 
+    @property
+    def migration_active(self) -> bool:
+        """True while a migration strategy is installed and running."""
+        return self.strategy is not None
+
     def start_migration(self, new_box: Box, strategy: object) -> None:
         """Begin migrating from the current box to ``new_box`` immediately."""
         if self.strategy is not None:
@@ -172,8 +181,11 @@ class QueryExecutor:
             return
         self.strategy.after_event(self)
         if self.strategy.finished:
-            self.migration_log.append(self.strategy.report())
+            report = self.strategy.report()
+            self.migration_log.append(report)
             self.strategy = None
+            if self.on_migration_complete is not None:
+                self.on_migration_complete(report)
 
     # ------------------------------------------------------------------ #
     # Accounting

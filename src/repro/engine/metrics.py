@@ -61,6 +61,9 @@ class MetricsRecorder:
             raise ValueError(f"bucket_size must be positive, got {bucket_size}")
         self.series = MetricsSeries(bucket_size)
         self._cumulative_results = 0
+        #: Structured events (controller decisions, migration lifecycle)
+        #: interleaved with the numeric series; see :meth:`record_event`.
+        self.events: List[Dict[str, object]] = []
 
     def bucket_of(self, t: Time) -> int:
         """Map an application timestamp to its bucket index."""
@@ -80,6 +83,26 @@ class MetricsRecorder:
     def sample_cost(self, clock: Time, total_cost: int) -> None:
         """Record the cumulative CPU cost units consumed so far."""
         self.series.cost[self.bucket_of(clock)] = total_cost
+
+    def record_event(
+        self, clock: Time, kind: str, query: str = "", **detail: object
+    ) -> None:
+        """Append one structured event (JSON-serialisable values only).
+
+        Events carry the application timestamp, its bucket (so they can be
+        correlated with the numeric series), a ``kind`` tag and arbitrary
+        detail columns — the service layer records every re-optimization
+        decision and migration lifecycle step through this channel.
+        """
+        entry: Dict[str, object] = {
+            "at": clock,
+            "bucket": self.bucket_of(clock),
+            "kind": kind,
+        }
+        if query:
+            entry["query"] = query
+        entry.update(detail)
+        self.events.append(entry)
 
     # ------------------------------------------------------------------ #
     # Convenience accessors used by the benchmark harness
@@ -113,6 +136,7 @@ class MetricsRecorder:
             "memory": self.memory_usage(),
             "cost": self.cumulative_cost(),
             "results": self.cumulative_results(),
+            "events": list(self.events),
         }
 
     def dump(self, path: str) -> None:

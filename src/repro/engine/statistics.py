@@ -8,7 +8,7 @@ but they provide exactly the inputs the cost model needs.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Iterable, Optional
 
 from ..temporal.time import Time
 
@@ -91,6 +91,29 @@ class StatisticsCatalog:
             estimator = SelectivityEstimator()
             self.selectivities[key] = estimator
         return estimator
+
+    def ready(
+        self,
+        sources: Optional[Iterable[str]] = None,
+        min_observations: int = 2,
+    ) -> bool:
+        """Whether the rate estimators have warmed up enough to be trusted.
+
+        ``RateEstimator.rate`` is 0.0 until the second observation, so cost
+        estimates built from a cold catalog compare garbage against garbage.
+        Callers deciding plan migrations (``ReOptimizer.decide``, the
+        autonomic controller) must not act before every source named in
+        ``sources`` (default: every registered source) has at least
+        ``min_observations`` arrivals on record.
+        """
+        names = list(sources) if sources is not None else list(self.rates)
+        if not names:
+            return False
+        for name in names:
+            estimator = self.rates.get(name)
+            if estimator is None or estimator.count < min_observations:
+                return False
+        return True
 
     def snapshot(self) -> Dict[str, float]:
         """A flat view of all current estimates, for logging and tests."""

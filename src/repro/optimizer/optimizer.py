@@ -25,12 +25,20 @@ from .rules import join_orders, push_down_distinct, push_down_selections
 
 @dataclass
 class OptimizationDecision:
-    """What the re-optimizer decided for one consideration round."""
+    """What the re-optimizer decided for one consideration round.
+
+    ``reason`` explains a non-migration outcome: ``None`` while migrating,
+    otherwise one of ``"no-better-plan"``, ``"below-threshold"``,
+    ``"cold-statistics"``, ``"migration-cost"`` or ``"migration-in-flight"``.
+    """
 
     current_cost: float
     best_cost: float
     chosen: Optional[LogicalPlan]
     candidates_considered: int
+    reason: Optional[str] = None
+    migration_cost: float = 0.0
+    projected_savings: float = 0.0
 
     @property
     def migrate(self) -> bool:
@@ -48,6 +56,16 @@ class ReOptimizer:
         improvement_threshold: migrate only when the best candidate costs
             less than ``threshold`` times the current plan — re-optimization
             is not free, so small wins are ignored.
+        min_observations: minimum arrivals every source must have on record
+            before a decision is trusted; below it the statistics are cold
+            (``RateEstimator.rate`` is 0.0 before its second observation)
+            and the round records a ``"cold-statistics"`` skip.
+        migration_cost_per_value: cost units charged per payload value held
+            in the current plan's estimated state — a proxy for the work of
+            running two plans in parallel while that state drains.  0.0
+            disables the migration-cost veto.
+        savings_horizon: application time over which the per-unit-time cost
+            advantage must amortise the migration cost.
     """
 
     def __init__(
@@ -56,11 +74,17 @@ class ReOptimizer:
         cost_model: Optional[CostModel] = None,
         strategy_factory: Callable[[], MigrationStrategy] = GenMig,
         improvement_threshold: float = 0.8,
+        min_observations: int = 2,
+        migration_cost_per_value: float = 0.0,
+        savings_horizon: float = 1000.0,
     ) -> None:
         self.builder = builder or PhysicalBuilder()
         self.cost_model = cost_model or CostModel()
         self.strategy_factory = strategy_factory
         self.improvement_threshold = improvement_threshold
+        self.min_observations = min_observations
+        self.migration_cost_per_value = migration_cost_per_value
+        self.savings_horizon = savings_horizon
         self.decisions: List[OptimizationDecision] = []
 
     # ------------------------------------------------------------------ #
@@ -91,6 +115,17 @@ class ReOptimizer:
         statistics: StatisticsCatalog,
     ) -> OptimizationDecision:
         """Pick the cheapest equivalent plan; decide whether to migrate."""
+        if not statistics.ready(set(current.sources()), self.min_observations):
+            decision = OptimizationDecision(
+                current_cost=self.cost_model.cost(query, current, statistics),
+                best_cost=0.0,
+                chosen=None,
+                candidates_considered=0,
+                reason="cold-statistics",
+            )
+            self.decisions.append(decision)
+            return decision
+
         current_cost = self.cost_model.cost(query, current, statistics)
         best_plan: Optional[LogicalPlan] = None
         best_cost = current_cost
@@ -102,13 +137,30 @@ class ReOptimizer:
             if cost < best_cost:
                 best_cost = cost
                 best_plan = candidate
+        reason: Optional[str] = "no-better-plan" if best_plan is None else None
         if best_plan is not None and best_cost >= current_cost * self.improvement_threshold:
             best_plan = None
+            reason = "below-threshold"
+        migration_cost = 0.0
+        projected_savings = 0.0
+        if best_plan is not None and self.migration_cost_per_value > 0.0:
+            # Weigh the state that must drain from the running plan against
+            # the cost advantage projected over the amortisation horizon —
+            # the "to migrate or not to migrate" trade-off.
+            state = self.cost_model.estimate(query, current, statistics).state
+            migration_cost = state * self.migration_cost_per_value
+            projected_savings = (current_cost - best_cost) * self.savings_horizon
+            if projected_savings <= migration_cost:
+                best_plan = None
+                reason = "migration-cost"
         decision = OptimizationDecision(
             current_cost=current_cost,
             best_cost=best_cost,
             chosen=best_plan,
             candidates_considered=len(alternatives),
+            reason=reason,
+            migration_cost=migration_cost,
+            projected_savings=projected_savings,
         )
         self.decisions.append(decision)
         return decision
@@ -124,8 +176,20 @@ class ReOptimizer:
         Uses the executor's live statistics; when a better plan is found,
         builds its box and starts a dynamic migration immediately.  Returns
         the newly installed logical plan, or ``None`` when no migration was
-        triggered.
+        triggered.  A round that lands while a migration is still in flight
+        is skipped and recorded — never an error.
         """
+        if executor.migration_active:
+            self.decisions.append(
+                OptimizationDecision(
+                    current_cost=0.0,
+                    best_cost=0.0,
+                    chosen=None,
+                    candidates_considered=0,
+                    reason="migration-in-flight",
+                )
+            )
+            return None
         decision = self.decide(query, current, executor.statistics)
         if not decision.migrate:
             return None

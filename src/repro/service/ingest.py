@@ -1,0 +1,82 @@
+"""The shared ingestion hub: one physical stream feed, N subscribed queries.
+
+Every source element enters the service exactly once and is fanned out to
+each registered query that consumes the source; queries that do not (and
+paused queries) receive the element's timestamp as a heartbeat instead, so
+their watermarks, scheduled actions and in-flight migrations keep
+advancing with global time.  The hub enforces global start-timestamp order
+across *all* sources — the same discipline the single-query executor's
+global-order scheduler provides — which is what makes cross-source
+heartbeating sound: once an element at ``t`` is published, no source will
+ever deliver before ``t``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..temporal.element import StreamElement, element
+from ..temporal.time import MIN_TIME, Time
+from .registry import QueryRegistry
+
+
+class IngestHub:
+    """Fans one physical stream feed out to all subscribed executors."""
+
+    def __init__(self, registry: QueryRegistry) -> None:
+        self.registry = registry
+        self.clock: Time = MIN_TIME
+        self.published = 0
+        #: Invoked with the hub clock after every publish/advance; the
+        #: autonomic controller hooks its consideration rounds in here.
+        self.on_progress: Optional[Callable[[Time], None]] = None
+
+    # ------------------------------------------------------------------ #
+    # Ingestion
+    # ------------------------------------------------------------------ #
+
+    def publish(self, source: str, payload: object, at: Time) -> int:
+        """Publish one timestamped tuple (Section 2.2: ``e @ t``)."""
+        return self.push(source, element(payload, at, at + 1))
+
+    def push(self, source: str, item: StreamElement) -> int:
+        """Fan one stream element out; returns the number of deliveries."""
+        if item.start < self.clock:
+            raise ValueError(
+                f"hub requires globally ordered input: {source!r} element at "
+                f"{item.start} is behind the hub clock {self.clock}"
+            )
+        self.clock = item.start
+        delivered = 0
+        for handle in self.registry.handles():
+            executor = handle.executor
+            if handle.active and source in executor.sources:
+                executor.push(source, item)
+                delivered += 1
+            else:
+                # Not consuming this source (or paused): promise progress so
+                # windows expire, actions fire and migrations complete.
+                for name in executor.sources:
+                    executor.advance(name, item.start)
+        self.published += 1
+        self._progress()
+        return delivered
+
+    def advance(self, t: Time) -> None:
+        """Promise that no source will deliver before ``t`` (heartbeat)."""
+        if t < self.clock:
+            raise ValueError(f"cannot advance the hub backwards to {t}")
+        self.clock = t
+        for handle in self.registry.handles():
+            for name in handle.executor.sources:
+                handle.executor.advance(name, t)
+        self._progress()
+
+    def finish(self) -> None:
+        """End the session: drain every executor, complete all migrations."""
+        for handle in self.registry.handles():
+            handle.executor.finish()
+
+    def _progress(self) -> None:
+        if self.on_progress is not None:
+            self.on_progress(self.clock)

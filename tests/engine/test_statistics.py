@@ -77,3 +77,32 @@ class TestStatisticsCatalog:
         view = catalog.snapshot()
         assert "rate:A" in view
         assert "sel:p" in view
+
+
+class TestReadiness:
+    def test_empty_catalog_not_ready(self):
+        assert not StatisticsCatalog().ready()
+
+    def test_ready_after_min_observations(self):
+        catalog = StatisticsCatalog()
+        catalog.rate_of("A").observe(0)
+        assert not catalog.ready()
+        catalog.rate_of("A").observe(10)
+        assert catalog.ready()
+
+    def test_explicit_sources_checked(self):
+        catalog = StatisticsCatalog()
+        catalog.rate_of("A").observe(0)
+        catalog.rate_of("A").observe(10)
+        assert catalog.ready(["A"])
+        assert not catalog.ready(["A", "B"])
+
+    def test_unseen_source_not_ready(self):
+        assert not StatisticsCatalog().ready(["ghost"])
+
+    def test_min_observations_threshold(self):
+        catalog = StatisticsCatalog()
+        for t in range(0, 40, 10):
+            catalog.rate_of("A").observe(t)
+        assert catalog.ready(["A"], min_observations=4)
+        assert not catalog.ready(["A"], min_observations=5)

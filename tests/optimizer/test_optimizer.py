@@ -84,6 +84,45 @@ class TestDecide:
         assert len(optimizer.decisions) == 1
 
 
+class TestDecideGuards:
+    def test_decide_skips_on_cold_statistics(self):
+        optimizer = ReOptimizer(improvement_threshold=0.9)
+        query = Query(left_deep(), {"A": 100, "B": 100, "C": 100})
+        decision = optimizer.decide(query, left_deep(), StatisticsCatalog())
+        assert not decision.migrate
+        assert decision.reason == "cold-statistics"
+        assert decision.candidates_considered == 0
+
+    def test_decide_honours_min_observations(self):
+        stats = StatisticsCatalog()
+        for t in range(0, 100, 10):
+            for name in ("A", "B", "C"):
+                stats.rate_of(name).observe(t)
+        optimizer = ReOptimizer(min_observations=50)
+        query = Query(left_deep(), {"A": 100, "B": 100, "C": 100})
+        decision = optimizer.decide(query, left_deep(), stats)
+        assert decision.reason == "cold-statistics"
+
+    def test_decide_vetoes_unamortised_migration(self):
+        optimizer = ReOptimizer(
+            improvement_threshold=0.9,
+            migration_cost_per_value=1e9,
+            savings_horizon=1.0,
+        )
+        query = Query(left_deep(), {"A": 100, "B": 100, "C": 100})
+        decision = optimizer.decide(query, left_deep(), skewed_catalog())
+        assert not decision.migrate
+        assert decision.reason == "migration-cost"
+        assert decision.migration_cost > decision.projected_savings
+
+    def test_migration_cost_disabled_by_default(self):
+        optimizer = ReOptimizer(improvement_threshold=0.9)
+        query = Query(left_deep(), {"A": 100, "B": 100, "C": 100})
+        decision = optimizer.decide(query, left_deep(), skewed_catalog())
+        assert decision.migrate
+        assert decision.migration_cost == 0.0
+
+
 class TestReoptimizeLoop:
     def test_live_reoptimization_migrates_and_stays_correct(self):
         rng = random.Random(77)
@@ -113,6 +152,37 @@ class TestReoptimizeLoop:
         migrated, executor = run(True)
         assert len(executor.migration_log) == 1
         assert first_divergence(base, migrated) is None
+
+    def test_reoptimize_skips_while_migration_in_flight(self):
+        """Regression: a round during an active migration must not raise."""
+        rng = random.Random(13)
+        streams = {
+            "A": timestamped_stream([(rng.randint(0, 5), t) for t in range(0, 400, 2)]),
+            "B": timestamped_stream([(rng.randint(0, 5), t) for t in range(1, 400, 2)]),
+            "C": timestamped_stream([(rng.randint(0, 5), t) for t in range(2, 400, 40)]),
+        }
+        windows = {"A": 50, "B": 50, "C": 50}
+        builder = PhysicalBuilder()
+        executor = QueryExecutor(streams, windows, builder.build(left_deep()))
+        query = Query(left_deep(), windows)
+        optimizer = ReOptimizer(builder=builder, strategy_factory=GenMig,
+                                improvement_threshold=0.95)
+        outcome = {}
+        executor.schedule(
+            100, lambda: optimizer.reoptimize(executor, query, left_deep())
+        )
+        # With a 50-chronon window the first migration is still in flight
+        # at t=110; this round must skip instead of raising MigrationError.
+        executor.schedule(
+            110,
+            lambda: outcome.update(
+                plan=optimizer.reoptimize(executor, query, left_deep())
+            ),
+        )
+        executor.run()
+        assert outcome["plan"] is None
+        assert len(executor.migration_log) == 1
+        assert optimizer.decisions[-1].reason == "migration-in-flight"
 
     def test_reoptimize_returns_none_without_improvement(self):
         streams = {

@@ -1,0 +1,62 @@
+"""The per-query decision event log and its metrics wiring."""
+
+import json
+
+import pytest
+
+from repro.engine import MetricsRecorder
+from repro.service import events as ev
+from repro.service import DecisionEvent, QueryEventLog
+
+
+class TestQueryEventLog:
+    def test_records_in_order(self):
+        log = QueryEventLog("q1")
+        log.record(100, ev.CONSIDERED)
+        log.record(100, ev.KEPT, current_cost=1.0, best_cost=0.9)
+        assert log.kinds() == ["considered", "kept"]
+        assert len(log) == 2
+
+    def test_detail_accessible_by_key(self):
+        log = QueryEventLog("q1")
+        event = log.record(5, ev.MIGRATED, strategy="genmig", new_plan="p")
+        assert event["strategy"] == "genmig"
+        with pytest.raises(KeyError):
+            event["missing"]
+
+    def test_of_kind_filters(self):
+        log = QueryEventLog("q1")
+        log.record(1, ev.CONSIDERED)
+        log.record(1, ev.SKIPPED_COLD)
+        log.record(2, ev.CONSIDERED)
+        assert [e.at for e in log.of_kind(ev.CONSIDERED)] == [1, 2]
+
+    def test_unknown_kind_rejected(self):
+        log = QueryEventLog("q1")
+        with pytest.raises(ValueError):
+            log.record(1, "invented-kind")
+
+    def test_to_dict_flattens_detail(self):
+        event = DecisionEvent(at=7, query="q", kind="kept", detail=(("cost", 1.5),))
+        assert event.to_dict() == {"at": 7, "query": "q", "kind": "kept", "cost": 1.5}
+
+
+class TestMetricsWiring:
+    def test_events_mirrored_into_recorder(self):
+        recorder = MetricsRecorder(bucket_size=100)
+        log = QueryEventLog("q1", recorder=recorder)
+        log.record(250, ev.MIGRATED, strategy="genmig")
+        assert recorder.events == [
+            {"at": 250, "bucket": 2, "kind": "migrated", "query": "q1",
+             "strategy": "genmig"}
+        ]
+
+    def test_events_serialised_with_series(self, tmp_path):
+        recorder = MetricsRecorder(bucket_size=100)
+        recorder.record_output(50)
+        recorder.record_event(120, "completed", query="q1", t_split=99)
+        path = tmp_path / "metrics.json"
+        recorder.dump(str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded["events"][0]["kind"] == "completed"
+        assert loaded == recorder.to_dict()

@@ -1,0 +1,96 @@
+"""The shared ingest hub: fan-out, global order, pause semantics."""
+
+import pytest
+
+from repro.cql import Catalog
+from repro.service import IngestHub, QueryRegistry
+from repro.temporal import element
+
+
+@pytest.fixture
+def catalog():
+    return Catalog({"bids": ("item", "price"), "sales": ("item", "amount")})
+
+
+@pytest.fixture
+def registry(catalog):
+    return QueryRegistry(catalog=catalog)
+
+
+@pytest.fixture
+def hub(registry):
+    return IngestHub(registry)
+
+
+BIDS_ALL = "SELECT * FROM bids [RANGE 50]"
+JOIN = (
+    "SELECT * FROM bids [RANGE 50], sales [RANGE 50] "
+    "WHERE bids.item = sales.item"
+)
+
+
+class TestFanOut:
+    def test_shared_source_reaches_every_subscriber(self, registry, hub):
+        first = registry.register("q1", BIDS_ALL)
+        second = registry.register("q2", BIDS_ALL)
+        delivered = hub.publish("bids", ("pen", 10), 0)
+        assert delivered == 2
+        hub.finish()
+        assert [e.payload for e in first.results] == [("pen", 10)]
+        assert [e.payload for e in second.results] == [("pen", 10)]
+
+    def test_unrelated_source_becomes_heartbeat(self, registry, hub):
+        bids_only = registry.register("q1", BIDS_ALL)
+        hub.publish("bids", ("pen", 10), 0)
+        assert hub.publish("sales", ("pen", 3), 40) == 0
+        # The sales element advanced the bids-only executor's clock, so its
+        # windowed state can expire without a bids arrival.
+        assert bids_only.executor.clock == 40
+
+    def test_multi_source_query_joins_hub_feeds(self, registry, hub):
+        joined = registry.register("j", JOIN)
+        hub.publish("bids", ("pen", 10), 0)
+        hub.publish("sales", ("pen", 3), 5)
+        hub.finish()
+        assert [e.payload for e in joined.results] == [("pen", 10, "pen", 3)]
+
+    def test_out_of_order_publish_rejected(self, registry, hub):
+        registry.register("q1", BIDS_ALL)
+        hub.publish("bids", ("pen", 10), 100)
+        with pytest.raises(ValueError, match="globally ordered"):
+            hub.publish("sales", ("pen", 3), 99)
+
+    def test_push_ready_made_element(self, registry, hub):
+        handle = registry.register("q1", BIDS_ALL)
+        hub.push("bids", element(("mug", 7), 3, 4))
+        hub.finish()
+        assert [e.payload for e in handle.results] == [("mug", 7)]
+
+
+class TestPauseSemantics:
+    def test_paused_query_misses_elements_but_keeps_time(self, registry, hub):
+        handle = registry.register("q1", BIDS_ALL)
+        hub.publish("bids", ("pen", 1), 0)
+        registry.pause("q1")
+        hub.publish("bids", ("mug", 2), 10)
+        registry.resume("q1")
+        hub.publish("bids", ("hat", 3), 20)
+        hub.finish()
+        assert [e.payload for e in handle.results] == [("pen", 1), ("hat", 3)]
+        # Watermarks advanced through the pause: no stale state, no reorder.
+        assert handle.executor.clock >= 20
+
+    def test_heartbeat_advances_everyone(self, registry, hub):
+        first = registry.register("q1", BIDS_ALL)
+        second = registry.register("q2", JOIN)
+        hub.advance(500)
+        assert first.executor.clock == 500
+        assert second.executor.clock == 500
+
+    def test_progress_callback_fires(self, registry, hub):
+        registry.register("q1", BIDS_ALL)
+        seen = []
+        hub.on_progress = seen.append
+        hub.publish("bids", ("pen", 1), 5)
+        hub.advance(10)
+        assert seen == [5, 10]
