@@ -14,13 +14,25 @@ join states (warm state) and, for the migration scenario, lies entirely
 inside the parallel phase, so the numbers reflect the per-element hot
 path: probing, staging, watermark-driven purging and metrics accounting.
 
+Each scenario is fed two ways: element-at-a-time through ``push`` (the
+reference loop, comparable with pre-batching captures) and batch-wise
+through ``push_batch`` with per-(timestamp, source) runs — the workload's
+``rate`` elements per chronon per stream form exactly the uniform-start
+runs the operators' amortised batch path targets.  The headline scenario
+numbers use the batch feed at ``batch_size = rate``; a batch-size sweep
+(1, 2, rate) is recorded alongside, with size 1 being the element feed.
+
 Results are written to ``BENCH_hotpath.json``.  Pass ``--baseline
 path/to/old.json`` to embed a previously captured run (e.g. from the
 commit before a performance change) and the resulting speedup factors.
+Pass ``--regress path/to/committed.json`` to fail (exit 1) when any
+scenario's throughput drops below ``--min-ratio`` (default 0.8) of the
+committed capture — the CI bitrot gate.
 
 Usage:
     python benchmarks/bench_hotpath.py              # full run
     python benchmarks/bench_hotpath.py --smoke      # seconds-fast CI smoke
+    python benchmarks/bench_hotpath.py --smoke --regress BENCH_hotpath.json
 """
 
 from __future__ import annotations
@@ -42,7 +54,7 @@ from repro.core import GenMig  # noqa: E402
 from repro.engine import Box, MetricsRecorder, QueryExecutor  # noqa: E402
 from repro.operators import CostMeter, NestedLoopsJoin  # noqa: E402
 from repro.streams import PhysicalStream  # noqa: E402
-from repro.temporal import element  # noqa: E402
+from repro.temporal import Batch, element  # noqa: E402
 
 STREAMS = ("A", "B", "C", "D")
 
@@ -96,6 +108,26 @@ def make_events(config: HotpathConfig) -> List[Tuple[str, object]]:
     return events
 
 
+def make_batches(config: HotpathConfig, batch_size: int) -> List[Tuple[str, Batch]]:
+    """The same workload as per-(timestamp, source) runs of ``batch_size``.
+
+    Still globally start-ordered (every chunk of a chronon shares one
+    timestamp), so it remains a legal feed for the global-order executor;
+    only the tie-break among equal timestamps differs from
+    :func:`make_events`, which interleaves the streams element by element.
+    """
+    per_chronon: Dict[Tuple[int, str], List[object]] = {}
+    for name, e in make_events(config):
+        per_chronon.setdefault((e.start, name), []).append(e)
+    batches: List[Tuple[str, Batch]] = []
+    for t, name in sorted(per_chronon, key=lambda k: (k[0], STREAMS.index(k[1]))):
+        run = per_chronon[(t, name)]
+        for offset in range(0, len(run), batch_size):
+            chunk = run[offset : offset + batch_size]
+            batches.append((name, Batch(chunk, source=name)))
+    return batches
+
+
 def _join(name: str) -> NestedLoopsJoin:
     return NestedLoopsJoin(lambda l, r: l[0] == r[0], name=name)
 
@@ -122,35 +154,60 @@ def right_deep_box() -> Box:
     )
 
 
-def run_scenario(config: HotpathConfig, migrate: bool) -> Dict[str, object]:
-    """Push the workload through an executor, timing the measurement window."""
+def run_scenario(
+    config: HotpathConfig, migrate: bool, batch_size: int = 1
+) -> Dict[str, object]:
+    """Push the workload through an executor, timing the measurement window.
+
+    ``batch_size == 1`` uses the element-at-a-time ``push`` feed (the
+    reference loop); larger sizes feed per-(timestamp, source) runs through
+    ``push_batch``, with ``batch_during_migration`` enabled so GenMig's
+    parallel phase — where the timed window lies — stays on the batch path.
+    """
     sources = {name: PhysicalStream([], name) for name in STREAMS}
     windows = {name: config.window for name in STREAMS}
     metrics = MetricsRecorder(bucket_size=config.bucket)
     executor = QueryExecutor(
-        sources, windows, left_deep_box(), metrics=metrics, meter=CostMeter()
+        sources,
+        windows,
+        left_deep_box(),
+        metrics=metrics,
+        meter=CostMeter(),
+        batch_during_migration=batch_size > 1,
     )
     if migrate:
         executor.schedule_migration(config.migrate_at, right_deep_box(), GenMig())
+
+    if batch_size == 1:
+        feed: List[Tuple[str, object]] = make_events(config)
+        sizes = [1] * len(feed)
+    else:
+        feed = make_batches(config, batch_size)
+        sizes = [len(batch) for _, batch in feed]
 
     timed_elements = 0
     timed_seconds = 0.0
     started: Optional[float] = None
     state_at_start = 0
-    for name, e in make_events(config):
-        if started is None and e.start >= config.measure_start:
+    for (name, item), size in zip(feed, sizes):
+        t = item.start if size == 1 else item.first_start
+        if started is None and t >= config.measure_start:
             state_at_start = executor.state_value_count()
             started = time.perf_counter()
-        if started is not None and timed_seconds == 0.0 and e.start >= config.measure_end:
+        if started is not None and timed_seconds == 0.0 and t >= config.measure_end:
             timed_seconds = time.perf_counter() - started
-        executor.push(name, e)
+        if size == 1:
+            executor.push(name, item)
+        else:
+            executor.push_batch(name, item)
         if started is not None and timed_seconds == 0.0:
-            timed_elements += 1
+            timed_elements += size
     if started is not None and timed_seconds == 0.0:
         timed_seconds = time.perf_counter() - started
     executor.finish()
 
     result: Dict[str, object] = {
+        "batch_size": batch_size,
         "elements_timed": timed_elements,
         "seconds": round(timed_seconds, 6),
         "elements_per_sec": round(timed_elements / timed_seconds, 1),
@@ -186,6 +243,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--baseline", default=None,
         help="a previous BENCH_hotpath.json to compare against (embeds speedups)",
     )
+    parser.add_argument(
+        "--regress", default=None,
+        help="a committed BENCH_hotpath.json to gate against: exit 1 when any "
+        "scenario's throughput falls below --min-ratio of its capture",
+    )
+    parser.add_argument(
+        "--min-ratio", type=float, default=0.8,
+        help="minimum current/committed throughput ratio for --regress "
+        "(default 0.8, i.e. fail on a >20%% drop)",
+    )
     args = parser.parse_args(argv)
 
     config = SMOKE if args.smoke else FULL
@@ -197,7 +264,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         # Load before the (minutes-long) run so a bad path fails fast.
         with open(args.baseline) as handle:
             baseline = json.load(handle)
+    regress = None
+    if args.regress:
+        with open(args.regress) as handle:
+            regress = json.load(handle)
 
+    sweep_sizes = sorted({1, 2, config.rate})
     report: Dict[str, object] = {
         "benchmark": "hotpath-4way-join",
         "mode": "smoke" if args.smoke else "full",
@@ -205,15 +277,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         "target_state_values": config.target_state,
         "python": platform.python_version(),
         "scenarios": {},
+        "batch_sweep": {},
     }
     for key, migrate in (("steady", False), ("genmig_inflight", True)):
-        result = run_scenario(config, migrate)
-        report["scenarios"][key] = result
-        print(
-            f"{key:16s} {result['elements_per_sec']:>12.1f} elements/sec "
-            f"({result['elements_timed']} elements in {result['seconds']:.3f} s, "
-            f"{result['state_values_at_measure_start']} state values)"
-        )
+        sweep: Dict[str, float] = {}
+        for batch_size in sweep_sizes:
+            result = run_scenario(config, migrate, batch_size)
+            sweep[str(batch_size)] = result["elements_per_sec"]
+            if batch_size == config.rate:
+                # Headline numbers: the batch feed at the workload's natural
+                # run length (rate elements per chronon per stream).
+                report["scenarios"][key] = result
+            print(
+                f"{key:16s} batch={batch_size:<3d} "
+                f"{result['elements_per_sec']:>12.1f} elements/sec "
+                f"({result['elements_timed']} elements in {result['seconds']:.3f} s, "
+                f"{result['state_values_at_measure_start']} state values)"
+            )
+        report["batch_sweep"][key] = sweep
 
     if baseline is not None:
         comparison = {}
@@ -235,6 +316,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         json.dump(report, handle, indent=2)
         handle.write("\n")
     print(f"wrote {output}")
+
+    if regress is not None:
+        # The committed capture is a full run; smoke runs carry far less
+        # state and are faster, so this gate only catches gross bitrot —
+        # which is exactly what a shared CI runner can check reliably.
+        failed = False
+        for key, result in report["scenarios"].items():
+            committed = regress.get("scenarios", {}).get(key)
+            if not committed:
+                continue
+            ratio = result["elements_per_sec"] / committed["elements_per_sec"]
+            status = "ok" if ratio >= args.min_ratio else "REGRESSION"
+            print(
+                f"{key:16s} {ratio:.2f}x of committed "
+                f"({committed['elements_per_sec']} elements/sec) [{status}]"
+            )
+            failed = failed or ratio < args.min_ratio
+        if failed:
+            print(f"throughput fell below {args.min_ratio:.2f}x of {args.regress}")
+            return 1
     return 0
 
 

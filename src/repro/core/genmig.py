@@ -69,6 +69,19 @@ class GenMig(MigrationStrategy):
         if self._phase == "parallel":
             self._try_complete(executor)
 
+    @property
+    def batchable(self) -> bool:
+        """Batch-boundary ticks are sound only in the parallel phase.
+
+        While monitoring, ``T_split`` must be computed from the watermarks
+        at the exact element where every input has been seen — a deferred
+        tick would arm late and deprive the new box of elements.  Once the
+        splits are installed, routing is purely data-driven and a tick
+        merely checks watermark progress, so completion at a batch boundary
+        changes timing but not output.
+        """
+        return self._phase == "parallel"
+
     def state_value_count(self) -> int:
         total = 0
         if self._phase == "parallel":

@@ -28,6 +28,7 @@ from typing import List
 
 from ..engine.box import InputPort
 from ..operators.base import Operator
+from ..temporal.batch import Batch
 from ..temporal.element import StreamElement
 from ..temporal.time import MAX_TIME, MIN_TIME, Time
 
@@ -81,6 +82,44 @@ class Split(Operator):
             for operator, target_port in self._new_targets:
                 operator.process(new_part, target_port)
         self._forward_watermarks(element.start)
+
+    def process_batch(self, batch: Batch, port: int = 0) -> None:
+        """Route a whole run, forwarding each side as one sub-batch.
+
+        Both part streams inherit the input's start order, so each side
+        sees exactly the element sequence it would see element-wise; only
+        the *interleaving* between the two sides changes, which the boxes
+        cannot observe (they are disjoint) and coalesce resolves into a
+        snapshot-equivalent merge.  This path is reached only when the
+        executor batches through an active migration
+        (``batch_during_migration``); the default executor ticks
+        migrations element-wise through :meth:`process`.
+        """
+        elements = batch.elements
+        self.meter.charge(len(elements), "split")
+        old_parts: List[StreamElement] = []
+        new_parts: List[StreamElement] = []
+        for element in elements:
+            old_part, new_part = self._route(element)
+            if old_part is not None:
+                old_parts.append(old_part)
+            if new_part is not None:
+                new_parts.append(new_part)
+        for parts, targets in (
+            (old_parts, self._old_targets),
+            (new_parts, self._new_targets),
+        ):
+            if not parts:
+                continue
+            side = Batch._trusted(
+                parts,
+                parts[-1].start,
+                batch.source,
+                parts[0].start == parts[-1].start,
+            )
+            for operator, target_port in targets:
+                operator.process_batch(side, target_port)
+        self._forward_watermarks(max(elements[-1].start, batch.watermark))
 
     def process_heartbeat(self, t: Time, port: int = 0) -> None:
         self._forward_watermarks(t)

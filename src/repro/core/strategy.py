@@ -70,6 +70,18 @@ class MigrationStrategy:
         """Advance the migration state machine after one input event."""
         raise NotImplementedError
 
+    @property
+    def batchable(self) -> bool:
+        """Whether the executor may tick this strategy per input *batch*.
+
+        The reference timing calls :meth:`after_event` after every element;
+        a strategy returns ``True`` only while coarser, batch-boundary
+        ticks cannot change what it would do — the executor consults this
+        each batch, so the answer may vary with the strategy's phase.
+        Defaults to ``False``: element-wise ticks are always sound.
+        """
+        return False
+
     def state_value_count(self) -> int:
         """Payload values held by migration-owned state (new box, buffers)."""
         return 0

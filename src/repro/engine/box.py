@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..operators.base import Operator
+from ..temporal.batch import Batch
 from ..temporal.element import StreamElement
 from ..temporal.time import MIN_TIME, Time
 
@@ -89,6 +90,20 @@ class Router(Operator):
     def _on_element(self, element: StreamElement, port: int) -> None:
         self._emit(element)
 
+    def process_batch(self, batch: Batch, port: int = 0) -> None:
+        """Forward a whole batch in one dispatch per subscriber."""
+        watermarks = self._watermarks
+        if batch.elements[0].start < watermarks[0]:
+            raise ValueError(
+                f"{self.name}: out-of-order element on port 0: "
+                f"{batch.elements[0].start} < watermark {watermarks[0]}"
+            )
+        watermarks[0] = batch.elements[-1].start
+        self._emit_batch(batch)
+        self._advance()
+        if batch.watermark > watermarks[0]:
+            self.process_heartbeat(batch.watermark, 0)
+
     def retarget(self, targets: List[InputPort]) -> None:
         """Atomically replace the subscriber list."""
         self._subscribers = list(targets)
@@ -127,6 +142,12 @@ class OutputGate:
             self.on_delivery(element)
         for sink in self._sinks:
             sink.process(element)
+
+    def process_batch(self, batch: Batch) -> None:
+        """Deliver a whole batch of results, element-wise semantics."""
+        process = self.process
+        for element in batch.elements:
+            process(element)
 
     def process_heartbeat(self, t: Time, port: int = 0) -> None:
         """Forward progress information to every sink."""

@@ -21,6 +21,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from ..operators.base import NULL_METER, CostMeter, Operator
 from ..operators.window import TimeWindow
 from ..streams.stream import PhysicalStream
+from ..temporal.batch import Batch
 from ..temporal.time import MAX_TIME, MIN_TIME, Time
 from .box import Box, OutputGate, Router
 from .metrics import MetricsRecorder
@@ -49,6 +50,14 @@ class QueryExecutor:
         interval_bound: finite bound on raw input interval lengths; 1 for
             ordinary timestamped inputs (the Section 2.2 conversion), larger
             when a pre-windowed intermediate stream is fed in directly.
+        batch_size: cap on the runs the batched event loop pulls from the
+            scheduler; ``1`` selects the legacy element-at-a-time loop.
+        batch_during_migration: keep batching while a migration strategy is
+            installed, provided the strategy declares itself ``batchable``.
+            Off by default: the element loop ticks the strategy after every
+            element, which is the reference migration timing; batching is
+            snapshot-equivalent but may chunk the strategy's transitions at
+            run boundaries.
     """
 
     def __init__(
@@ -61,6 +70,8 @@ class QueryExecutor:
         metrics: Optional[MetricsRecorder] = None,
         global_heartbeats: Optional[bool] = None,
         interval_bound: Time = 1,
+        batch_size: int = 64,
+        batch_during_migration: bool = False,
     ) -> None:
         missing = set(sources) - set(windows)
         if missing:
@@ -76,6 +87,10 @@ class QueryExecutor:
         if interval_bound < 1:
             raise ValueError(f"interval_bound must be >= 1, got {interval_bound}")
         self.interval_bound = interval_bound
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.batch_size = batch_size
+        self.batch_during_migration = batch_during_migration
         self.statistics = StatisticsCatalog()
 
         self.gate = OutputGate()
@@ -208,32 +223,66 @@ class QueryExecutor:
     # Event loop
     # ------------------------------------------------------------------ #
 
-    def run(self) -> None:
+    def run(self, batch_size: Optional[int] = None) -> None:
         """Replay all input streams to completion.
 
-        The run ends with an end-of-stream heartbeat on every input, which
-        drains all operator state and forces any in-flight migration to its
-        natural completion (all watermarks pass ``T_split``).
+        The loop pulls source-pure runs of up to ``batch_size`` elements
+        (default: the constructor setting) from the scheduler and ingests
+        them batch-wise; the element stream entering the plan — and every
+        byte of output — is identical to the element-at-a-time loop, which
+        remains reachable as ``batch_size=1``.  The run ends with an
+        end-of-stream heartbeat on every input, which drains all operator
+        state and forces any in-flight migration to its natural completion
+        (all watermarks pass ``T_split``).
         """
         if self._finished:
             raise RuntimeError("executor can only run once")
+        if batch_size is None:
+            batch_size = self.batch_size
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         queues = [SourceQueue(name, stream) for name, stream in self.sources.items()]
-        queue_by_name = {queue.name: queue for queue in queues}
-        for name, element in self.scheduler.order(queues):
-            self._fire_actions(element.start)
-            self.clock = max(self.clock, element.start)
-            self._sample_metrics_if_new_bucket()
-            self._ingest(name, element)
-            if not self.global_heartbeats:
-                # Without global heartbeats (non-global-order scheduling), a
-                # source whose stream has ended would stall downstream
-                # watermarks until end-of-stream; once its queue is empty it
-                # can safely promise the global clock.
-                for other, queue in queue_by_name.items():
-                    if other != name and not queue:
-                        self._window_ops[other].process_heartbeat(self.clock, 0)
-            self._poll_strategy()
+        # Undelivered elements per source.  The idle-source promises below
+        # key off this countdown rather than live queue emptiness: the
+        # batching scheduler pops a lookahead element to detect run
+        # boundaries, so a queue can look empty while an element is still
+        # in flight — the countdown only reaches zero once every element
+        # has actually been handed to the plan.
+        remaining = {queue.name: len(queue) for queue in queues}
+        if batch_size == 1:
+            for name, element in self.scheduler.order(queues):
+                remaining[name] -= 1
+                self._step_element(name, element, remaining)
+        else:
+            for name, batch in self.scheduler.batches(queues, batch_size):
+                remaining[name] -= len(batch)
+                self._ingest_batch(name, batch, remaining)
         self.finish()
+
+    def _promise_exhausted(self, name: str, remaining: Dict[str, int]) -> None:
+        """Heartbeat sources that have delivered their whole stream.
+
+        Without global heartbeats (non-global-order scheduling), a source
+        whose stream has ended would stall downstream watermarks until
+        end-of-stream; once exhausted it can safely promise the global
+        clock.
+        """
+        clock = self.clock
+        for other, left in remaining.items():
+            if other != name and left == 0:
+                self._window_ops[other].process_heartbeat(clock, 0)
+
+    def _step_element(
+        self, name: str, element, remaining: Optional[Dict[str, int]] = None
+    ) -> None:
+        """One turn of the element-at-a-time protocol (the reference path)."""
+        self._fire_actions(element.start)
+        self.clock = max(self.clock, element.start)
+        self._sample_metrics_if_new_bucket()
+        self._ingest(name, element)
+        if remaining is not None and not self.global_heartbeats:
+            self._promise_exhausted(name, remaining)
+        self._poll_strategy()
 
     def _ingest(self, name: str, element) -> None:
         self.source_watermarks[name] = element.start
@@ -249,6 +298,79 @@ class QueryExecutor:
             for window_op in self._window_ops.values():
                 window_op.process_heartbeat(element.start, 0)
         self._window_ops[name].process(element, 0)
+
+    def _ingest_batch(
+        self,
+        name: str,
+        batch: Batch,
+        remaining: Optional[Dict[str, int]] = None,
+    ) -> None:
+        """Ingest a source-pure run, group by group of equal start.
+
+        Each uniform-start group replays the element protocol's observable
+        effects exactly once per distinct timestamp — action firing, clock
+        and metrics-bucket updates, and the global heartbeat fan-out are all
+        idempotent within a group, so running them per group instead of per
+        element changes nothing downstream.  Per-element effects (rate
+        observations, max-end tracking) stay per element.  The idle-source
+        promises of non-global-heartbeat scheduling are the one effect that
+        is *not* idempotent mid-group: the element loop first fires them
+        after the group's opening element, and state-size-dependent charges
+        (``Difference`` finalisation) observe exactly that point — so on
+        that path the opening element goes through the element protocol,
+        the promises fire, and only the tail of the group is batched.
+        While a migration strategy is installed the loop drops to the
+        element path, whose per-element strategy tick is the reference
+        migration timing — unless ``batch_during_migration`` is set and the
+        strategy declares itself ``batchable``.
+        """
+        elements = batch.elements
+        n = len(elements)
+        window_op = self._window_ops[name]
+        window_size = self.windows[name]
+        i = 0
+        while i < n:
+            start = elements[i].start
+            j = i + 1
+            while j < n and elements[j].start == start:
+                j += 1
+            self._fire_actions(start)
+            if self.strategy is not None and not (
+                self.batch_during_migration
+                and getattr(self.strategy, "batchable", False)
+            ):
+                for element in elements[i:]:
+                    self._step_element(name, element, remaining)
+                return
+            self.clock = max(self.clock, start)
+            self._sample_metrics_if_new_bucket()
+            group = elements[i:j]
+            self.source_watermarks[name] = start
+            max_end = self.source_max_ends[name]
+            for element in group:
+                windowed_end = element.end + window_size
+                if windowed_end > max_end:
+                    max_end = windowed_end
+            self.source_max_ends[name] = max_end
+            self.source_seen[name] = True
+            observe = self.statistics.rate_of(name).observe
+            for element in group:
+                observe(element.start)
+            if self.global_heartbeats:
+                for other_op in self._window_ops.values():
+                    other_op.process_heartbeat(start, 0)
+                window_op.process_batch(Batch._trusted(group, start, name, True), 0)
+            elif remaining is not None:
+                window_op.process(group[0], 0)
+                self._promise_exhausted(name, remaining)
+                if len(group) > 1:
+                    window_op.process_batch(
+                        Batch._trusted(group[1:], start, name, True), 0
+                    )
+            else:
+                window_op.process_batch(Batch._trusted(group, start, name, True), 0)
+            self._poll_strategy()
+            i = j
 
     def _fire_actions(self, up_to: Time) -> None:
         while self._actions and self._actions[0][0] <= up_to:
@@ -282,6 +404,28 @@ class QueryExecutor:
         self._sample_metrics_if_new_bucket()
         self._ingest(name, element)
         self._poll_strategy()
+
+    def push_batch(self, name: str, batch: Batch) -> None:
+        """Feed an ordered run of one source's elements online.
+
+        Semantically equivalent to pushing the elements one by one followed
+        by :meth:`advance` to the batch's trailing watermark (when it
+        promises beyond the last element); uniform-start stretches of the
+        run take the amortised batch path through the plan.
+        """
+        if self._finished:
+            raise RuntimeError("executor already finished")
+        if name not in self._window_ops:
+            raise KeyError(f"unknown source {name!r}")
+        first = batch.elements[0].start
+        if self.global_heartbeats and first < self.clock:
+            raise ValueError(
+                f"global-order executor received {name!r} element at "
+                f"{first} behind the clock {self.clock}"
+            )
+        self._ingest_batch(name, batch)
+        if batch.watermark > batch.elements[-1].start:
+            self.advance(name, batch.watermark)
 
     def advance(self, name: str, t: Time) -> None:
         """Promise online that ``name`` will not deliver before ``t``."""

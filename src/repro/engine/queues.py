@@ -17,13 +17,21 @@ from ..temporal.time import Time
 
 
 class SourceQueue:
-    """FIFO of pending elements of one named source."""
+    """FIFO of pending elements of one named source.
 
-    __slots__ = ("name", "_items")
+    Monotonicity is enforced against the whole history of the queue, not
+    just its current tail: once consumption has begun, an empty queue
+    remembers the start timestamp of the last element it handed out, so a
+    late push below that floor fails here — at the ingestion boundary —
+    instead of deep inside an operator's watermark check.
+    """
+
+    __slots__ = ("name", "_items", "_floor")
 
     def __init__(self, name: str, elements: Iterable[StreamElement] = ()) -> None:
         self.name = name
         self._items: Deque[StreamElement] = deque(elements)
+        self._floor: Optional[Time] = None
 
     def push(self, element: StreamElement) -> None:
         """Append an element; elements must arrive in start-timestamp order."""
@@ -31,6 +39,11 @@ class SourceQueue:
             raise ValueError(
                 f"source {self.name}: element at {element.start} arrives after "
                 f"{self._items[-1].start}"
+            )
+        if self._floor is not None and element.start < self._floor:
+            raise ValueError(
+                f"source {self.name}: element at {element.start} arrives after "
+                f"{self._floor} was already consumed"
             )
         self._items.append(element)
 
@@ -40,13 +53,21 @@ class SourceQueue:
 
     def pop(self) -> StreamElement:
         """Remove and return the next pending element."""
-        return self._items.popleft()
+        element = self._items.popleft()
+        self._floor = element.start
+        return element
 
     def __len__(self) -> int:
         return len(self._items)
 
     def __bool__(self) -> bool:
         return bool(self._items)
+
+    def __repr__(self) -> str:
+        head = self.next_timestamp
+        span = "empty" if head is None else f"next={head}"
+        floor = "" if self._floor is None else f", consumed through {self._floor}"
+        return f"SourceQueue({self.name!r}, {len(self._items)} pending, {span}{floor})"
 
     @property
     def next_timestamp(self) -> Optional[Time]:

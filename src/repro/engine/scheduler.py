@@ -14,9 +14,12 @@ Two policies:
 
 from __future__ import annotations
 
+import heapq
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from ..temporal.batch import Batch
 from ..temporal.element import StreamElement
+from ..temporal.time import Time
 from .queues import SourceQueue
 
 
@@ -27,23 +30,75 @@ class Scheduler:
         """Yield ``(source_name, element)`` pairs until all queues drain."""
         raise NotImplementedError
 
+    def batches(
+        self, queues: List[SourceQueue], max_size: int = 64
+    ) -> Iterator[Tuple[str, Batch]]:
+        """Yield ``(source_name, Batch)`` pairs until all queues drain.
+
+        The default groups maximal runs of consecutive same-source elements
+        out of :meth:`order` (capped at ``max_size``), so the batch stream
+        is a pure re-chunking of the element stream: same elements, same
+        global order, watermark equal to each run's last start.
+        """
+        if max_size < 1:
+            raise ValueError(f"max_size must be >= 1, got {max_size}")
+        run_name: Optional[str] = None
+        run: List[StreamElement] = []
+        for name, element in self.order(queues):
+            if name == run_name and len(run) < max_size:
+                run.append(element)
+                continue
+            if run:
+                yield run_name, Batch._trusted(
+                    run, run[-1].start, run_name, run[0].start == run[-1].start
+                )
+            run_name, run = name, [element]
+        if run:
+            yield run_name, Batch._trusted(
+                run, run[-1].start, run_name, run[0].start == run[-1].start
+            )
+
 
 class GlobalOrderScheduler(Scheduler):
-    """Strict global temporal (start timestamp) order; ties by queue index."""
+    """Strict global temporal (start timestamp) order; ties by queue index.
+
+    A k-way heap merge: each non-empty queue contributes its head as a
+    ``(timestamp, queue_index)`` entry, so choosing the next element is
+    O(log #sources) instead of the former full rescan per element.  Queues
+    that are empty at some point are re-examined before every pop, which
+    preserves the old scan's behaviour for queues filled mid-iteration.
+    """
 
     def order(self, queues: List[SourceQueue]) -> Iterator[Tuple[str, StreamElement]]:
+        heap: List[Tuple[Time, int]] = []
+        idle: List[int] = []
+        for index, queue in enumerate(queues):
+            t = queue.next_timestamp
+            if t is None:
+                idle.append(index)
+            else:
+                heap.append((t, index))
+        heapq.heapify(heap)
         while True:
-            best: Optional[int] = None
-            for index, queue in enumerate(queues):
-                t = queue.next_timestamp
-                if t is None:
-                    continue
-                if best is None or t < queues[best].next_timestamp:
-                    best = index
-            if best is None:
+            if idle:
+                still_idle: List[int] = []
+                for index in idle:
+                    t = queues[index].next_timestamp
+                    if t is None:
+                        still_idle.append(index)
+                    else:
+                        heapq.heappush(heap, (t, index))
+                idle = still_idle
+            if not heap:
                 return
-            queue = queues[best]
+            _, index = heapq.heappop(heap)
+            queue = queues[index]
             yield queue.name, queue.pop()
+            t = queue.next_timestamp
+            if t is None:
+                idle.append(index)
+            else:
+                heapq.heappush(heap, (t, index))
 
 
 class RoundRobinScheduler(Scheduler):

@@ -12,13 +12,50 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Iterator
 
+from ..temporal.batch import Batch
 from ..temporal.element import StreamElement
 from ..temporal.interval import TimeInterval
 from ..temporal.time import MAX_TIME, Time
 from .base import Operator, StatelessOperator
 
 
-class TimeWindow(StatelessOperator):
+class _MappingWindow(StatelessOperator):
+    """Shared batch path of the element-wise (stateless) window variants.
+
+    A run of elements is transformed in one pass and forwarded as a batch;
+    the single trailing :meth:`_advance` is observably identical to the
+    per-element advances of the fallback loop, because each intermediate
+    heartbeat promise equals the start of the element that just preceded
+    it — a no-op at every subscriber that consumed the element.
+    """
+
+    def _map_element(self, element: StreamElement) -> StreamElement:
+        """The validity rewrite applied to each element."""
+        raise NotImplementedError
+
+    def _on_element(self, element: StreamElement, port: int) -> None:
+        self.meter.charge(1, "window")
+        self._stage(self._map_element(element))
+
+    def process_batch(self, batch: Batch, port: int = 0) -> None:
+        self._check_port(port)
+        elements = batch.elements
+        watermarks = self._watermarks
+        if elements[0].start < watermarks[port]:
+            raise ValueError(
+                f"{self.name}: out-of-order element on port {port}: "
+                f"{elements[0].start} < watermark {watermarks[port]}"
+            )
+        watermarks[port] = elements[-1].start
+        self.meter.charge(len(elements), "window")
+        mapped = self._map_element
+        self._emit_batch(batch.with_elements([mapped(e) for e in elements]))
+        self._advance()
+        if batch.watermark > watermarks[port]:
+            self.process_heartbeat(batch.watermark, port)
+
+
+class TimeWindow(_MappingWindow):
     """A time-based sliding window of ``size`` application-time units."""
 
     def __init__(self, size: Time, name: str = "") -> None:
@@ -27,33 +64,30 @@ class TimeWindow(StatelessOperator):
             raise ValueError(f"window size must be non-negative, got {size}")
         self.size = size
 
-    def _on_element(self, element: StreamElement, port: int) -> None:
-        self.meter.charge(1, "window")
-        self._stage(element.with_interval(element.interval.extend(self.size)))
+    def _map_element(self, element: StreamElement) -> StreamElement:
+        return element.with_interval(element.interval.extend(self.size))
 
 
-class NowWindow(StatelessOperator):
+class NowWindow(_MappingWindow):
     """The *now* window: validity restricted to single instants.
 
     For unit-interval input this is the identity; for longer intervals it
     passes them through unchanged (each instant extended by zero units).
     """
 
-    def _on_element(self, element: StreamElement, port: int) -> None:
-        self.meter.charge(1, "window")
-        self._stage(element)
+    def _map_element(self, element: StreamElement) -> StreamElement:
+        return element
 
 
-class UnboundedWindow(StatelessOperator):
+class UnboundedWindow(_MappingWindow):
     """The unbounded window: elements never expire.
 
     Corresponds to ``RANGE UNBOUNDED`` in CQL.  Use with care: downstream
     stateful operators will accumulate state for the whole stream life.
     """
 
-    def _on_element(self, element: StreamElement, port: int) -> None:
-        self.meter.charge(1, "window")
-        self._stage(element.with_interval(TimeInterval(element.start, MAX_TIME)))
+    def _map_element(self, element: StreamElement) -> StreamElement:
+        return element.with_interval(TimeInterval(element.start, MAX_TIME))
 
 
 class CountWindow(Operator):

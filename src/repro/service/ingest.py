@@ -13,8 +13,9 @@ ever deliver before ``t``.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Iterable, Optional
 
+from ..temporal.batch import Batch
 from ..temporal.element import StreamElement, element
 from ..temporal.time import MIN_TIME, Time
 from .registry import QueryRegistry
@@ -59,6 +60,40 @@ class IngestHub:
                 for name in executor.sources:
                     executor.advance(name, item.start)
         self.published += 1
+        self._progress()
+        return delivered
+
+    def publish_batch(self, source: str, payloads: Iterable[object], at: Time) -> int:
+        """Publish several tuples sharing one timestamp as a single batch."""
+        elements = [element(payload, at, at + 1) for payload in payloads]
+        return self.push_batch(source, Batch(elements, source=source))
+
+    def push_batch(self, source: str, batch: Batch) -> int:
+        """Fan an ordered run of one source's elements out in one turn.
+
+        Consumers receive the whole batch (taking the executors' amortised
+        batch path); queries not consuming the source — and paused ones —
+        are heartbeated once per batch, to the batch's trailing watermark,
+        instead of once per element.  Returns the number of deliveries
+        (consumers reached times elements delivered).
+        """
+        first = batch.first_start
+        if first < self.clock:
+            raise ValueError(
+                f"hub requires globally ordered input: {source!r} element at "
+                f"{first} is behind the hub clock {self.clock}"
+            )
+        self.clock = batch.watermark
+        delivered = 0
+        for handle in self.registry.handles():
+            executor = handle.executor
+            if handle.active and source in executor.sources:
+                executor.push_batch(source, batch)
+                delivered += len(batch)
+            else:
+                for name in executor.sources:
+                    executor.advance(name, batch.watermark)
+        self.published += len(batch)
         self._progress()
         return delivered
 

@@ -7,6 +7,7 @@ the snapshot/snapshot-equivalence machinery that defines correctness for
 every operator and for plan migration itself.
 """
 
+from .batch import Batch
 from .element import (
     NEW,
     OLD,
@@ -35,6 +36,7 @@ from .snapshot import (
 from .time import CHRONON, EPSILON, MAX_TIME, MIN_TIME, Time, is_finite, validate_time
 
 __all__ = [
+    "Batch",
     "CHRONON",
     "EPSILON",
     "IntervalSet",

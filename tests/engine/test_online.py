@@ -6,7 +6,7 @@ from repro.core import GenMig
 from repro.engine import Box, QueryExecutor
 from repro.operators import DuplicateElimination, equi_join
 from repro.streams import CollectorSink, timestamped_stream
-from repro.temporal import element, first_divergence
+from repro.temporal import Batch, element, first_divergence
 
 
 def join_box():
@@ -95,6 +95,51 @@ class TestPushAdvanceFinish:
         executor, _ = online_executor()
         executor.finish()
         executor.finish()
+
+
+class TestPushBatch:
+    def test_push_batch_matches_element_pushes(self):
+        outputs = []
+        for batched in (False, True):
+            executor, sink = online_executor()
+            items = [element("k", 0, 1), element("k", 0, 1), element("j", 2, 3)]
+            if batched:
+                executor.push_batch("A", Batch(items, source="A"))
+                executor.push_batch("B", Batch([element("k", 2, 3)], source="B"))
+            else:
+                for item in items:
+                    executor.push("A", item)
+                executor.push("B", element("k", 2, 3))
+            executor.finish()
+            outputs.append(
+                [(e.payload, e.start, e.end, e.flag) for e in sink.elements]
+            )
+        assert outputs[0] == outputs[1]
+
+    def test_trailing_watermark_advances_the_source(self):
+        executor, _ = online_executor()
+        executor.push_batch(
+            "A", Batch([element("k", 0, 1)], watermark=40, source="A")
+        )
+        assert executor.source_watermarks["A"] == 40
+        assert executor.clock == 40
+
+    def test_batch_behind_global_clock_rejected(self):
+        executor, _ = online_executor()
+        executor.push("A", element("k", 10, 11))
+        with pytest.raises(ValueError, match="behind the clock"):
+            executor.push_batch("B", Batch([element("k", 5, 6)], source="B"))
+
+    def test_unknown_source_rejected(self):
+        executor, _ = online_executor()
+        with pytest.raises(KeyError):
+            executor.push_batch("Z", Batch([element("k", 0, 1)]))
+
+    def test_push_batch_after_finish_rejected(self):
+        executor, _ = online_executor()
+        executor.finish()
+        with pytest.raises(RuntimeError):
+            executor.push_batch("A", Batch([element("k", 0, 1)]))
 
 
 class TestOnlineMigration:

@@ -30,9 +30,30 @@ class TestSourceQueue:
         with pytest.raises(ValueError):
             q.push(element("x", 3, 9))
 
+    def test_push_behind_consumed_floor_rejected(self):
+        q = queue_of("A", [5, 8])
+        q.pop()
+        q.pop()  # queue now empty, but 8 was already handed out
+        with pytest.raises(ValueError, match="already consumed"):
+            q.push(element("x", 7, 12))
+
+    def test_push_at_consumed_floor_allowed(self):
+        q = queue_of("A", [5])
+        q.pop()
+        q.push(element("x", 5, 9))
+        assert q.next_timestamp == 5
+
     def test_truthiness(self):
         assert queue_of("A", [1])
         assert not SourceQueue("A")
+
+    def test_repr(self):
+        q = queue_of("A", [5, 8])
+        assert repr(q) == "SourceQueue('A', 2 pending, next=5)"
+        q.pop()
+        assert repr(q) == "SourceQueue('A', 1 pending, next=8, consumed through 5)"
+        q.pop()
+        assert repr(q) == "SourceQueue('A', 0 pending, empty, consumed through 8)"
 
 
 class TestGlobalOrderScheduler:
@@ -53,6 +74,80 @@ class TestGlobalOrderScheduler:
 
     def test_empty_queues(self):
         assert list(GlobalOrderScheduler().order([SourceQueue("A")])) == []
+
+
+class TestGlobalOrderHeapMerge:
+    """The heap-based merge must reproduce the old linear rescan exactly."""
+
+    def reference_order(self, per_source):
+        """The pre-heap algorithm: stable global sort by (start, queue index)."""
+        tagged = []
+        for index, (name, starts) in enumerate(per_source):
+            for position, start in enumerate(starts):
+                tagged.append((start, index, position, name))
+        tagged.sort()
+        return [(name, start) for start, _, _, name in tagged]
+
+    def test_matches_reference_on_heavy_ties(self):
+        import random
+
+        rng = random.Random(42)
+        for _ in range(20):
+            per_source = []
+            for name in ("A", "B", "C"):
+                t, starts = 0, []
+                for _ in range(rng.randint(0, 30)):
+                    t += rng.randint(0, 2)  # frequent equal timestamps
+                    starts.append(t)
+                per_source.append((name, starts))
+            queues = [queue_of(name, starts) for name, starts in per_source]
+            got = [(n, e.start) for n, e in GlobalOrderScheduler().order(queues)]
+            assert got == self.reference_order(per_source)
+
+    def test_queue_filled_mid_iteration_is_served(self):
+        queues = [queue_of("A", [0, 10]), SourceQueue("B")]
+        out = []
+        for name, e in GlobalOrderScheduler().order(queues):
+            out.append((name, e.start))
+            if e.start == 0:
+                queues[1].push(element("late", 5, 9))
+        assert out == [("A", 0), ("B", 5), ("A", 10)]
+
+
+class TestBatches:
+    def test_groups_consecutive_same_source_runs(self):
+        queues = [queue_of("A", [0, 1, 2]), queue_of("B", [5, 6])]
+        grouped = list(GlobalOrderScheduler().batches(queues))
+        assert [(name, [e.start for e in batch]) for name, batch in grouped] == [
+            ("A", [0, 1, 2]),
+            ("B", [5, 6]),
+        ]
+
+    def test_batches_rechunk_the_element_order(self):
+        make = lambda: [queue_of("A", [0, 2, 2, 4]), queue_of("B", [1, 2, 3])]
+        for scheduler in (GlobalOrderScheduler(), RoundRobinScheduler(batch=2)):
+            elementwise = [(n, e.start) for n, e in scheduler.order(make())]
+            batched = [
+                (name, e.start)
+                for name, batch in scheduler.batches(make())
+                for e in batch
+            ]
+            assert batched == elementwise
+
+    def test_max_size_caps_runs(self):
+        queues = [queue_of("A", [0, 1, 2, 3, 4])]
+        sizes = [len(b) for _, b in GlobalOrderScheduler().batches(queues, max_size=2)]
+        assert sizes == [2, 2, 1]
+
+    def test_watermark_is_last_start(self):
+        queues = [queue_of("A", [0, 7])]
+        (_, batch), = GlobalOrderScheduler().batches(queues)
+        assert batch.watermark == 7
+        assert batch.source == "A"
+
+    def test_invalid_max_size(self):
+        with pytest.raises(ValueError):
+            next(GlobalOrderScheduler().batches([queue_of("A", [0])], max_size=0))
 
 
 class TestRoundRobinScheduler:

@@ -94,3 +94,67 @@ class TestPauseSemantics:
         hub.publish("bids", ("pen", 1), 5)
         hub.advance(10)
         assert seen == [5, 10]
+
+
+class TestBatchIngest:
+    def test_publish_batch_matches_per_element_publish(self, catalog):
+        outputs = []
+        for batched in (False, True):
+            registry = QueryRegistry(catalog=catalog)
+            hub = IngestHub(registry)
+            handle = registry.register("q1", BIDS_ALL)
+            if batched:
+                hub.publish_batch("bids", [("pen", 1), ("mug", 2)], 0)
+                hub.publish_batch("bids", [("hat", 3)], 7)
+            else:
+                hub.publish("bids", ("pen", 1), 0)
+                hub.publish("bids", ("mug", 2), 0)
+                hub.publish("bids", ("hat", 3), 7)
+            hub.finish()
+            outputs.append(
+                [(e.payload, e.start, e.end, e.flag) for e in handle.results]
+            )
+        assert outputs[0] == outputs[1]
+
+    def test_publish_batch_counts_deliveries_and_published(self, registry, hub):
+        registry.register("q1", BIDS_ALL)
+        registry.register("q2", BIDS_ALL)
+        assert hub.publish_batch("bids", [("pen", 1), ("mug", 2)], 0) == 4
+        assert hub.published == 2
+        assert hub.clock == 0
+
+    def test_batch_heartbeats_non_consumers_to_watermark(self, registry, hub):
+        from repro.temporal import Batch
+
+        bids_only = registry.register("q1", BIDS_ALL)
+        batch = Batch(
+            [element(("pen", 3), 10, 11), element(("hat", 5), 12, 13)],
+            watermark=20,
+            source="sales",
+        )
+        assert hub.push_batch("sales", batch) == 0
+        assert bids_only.executor.clock == 20
+        assert hub.clock == 20
+
+    def test_paused_query_is_heartbeat_only_per_batch(self, registry, hub):
+        handle = registry.register("q1", BIDS_ALL)
+        registry.pause("q1")
+        hub.publish_batch("bids", [("pen", 1), ("mug", 2)], 10)
+        registry.resume("q1")
+        hub.publish_batch("bids", [("hat", 3)], 20)
+        hub.finish()
+        assert [e.payload for e in handle.results] == [("hat", 3)]
+        assert handle.executor.clock >= 20
+
+    def test_out_of_order_batch_rejected(self, registry, hub):
+        registry.register("q1", BIDS_ALL)
+        hub.publish("bids", ("pen", 1), 100)
+        with pytest.raises(ValueError, match="globally ordered"):
+            hub.publish_batch("sales", [("pen", 3)], 99)
+
+    def test_progress_fires_once_per_batch(self, registry, hub):
+        registry.register("q1", BIDS_ALL)
+        seen = []
+        hub.on_progress = seen.append
+        hub.publish_batch("bids", [("pen", 1), ("mug", 2), ("hat", 3)], 5)
+        assert seen == [5]
