@@ -1,0 +1,68 @@
+"""Static analysis for snapshot-equivalence and migration safety.
+
+Three tools, one package:
+
+* :mod:`~repro.analysis.plan_verifier` — walks logical plans and physical
+  boxes, re-validates schemas, classifies every operator (snapshot-
+  reducible / start-preserving / stateful-non-join), issues per-strategy
+  migration-safety verdicts (PT / RP / GenMig), and derives the static
+  ``T_split`` reachability bound from the window sizes;
+* :mod:`~repro.analysis.sanitizer` — an opt-in runtime checker of the
+  physical-stream invariants (interval well-formedness, watermark
+  monotonicity, emission promises, batch run-purity, state accounting),
+  hooked into the engine at zero cost when off;
+* :mod:`~repro.analysis.lint` — AST-based project-specific lint rules for
+  the engine code itself (no wall clocks, purge via sweep-area APIs,
+  honest batch overrides), run locally and in CI.
+
+Command line::
+
+    python -m repro.analysis "SELECT ..." --source bids=item,price
+    python -m repro.analysis.lint [paths]
+"""
+
+from .plan_verifier import (
+    Diagnostic,
+    MigrationVerdict,
+    OperatorClassification,
+    PlanVerdict,
+    SplitBound,
+    StrategyVerdict,
+    classify_logical,
+    classify_operator,
+    figure2_plans,
+    verify_box,
+    verify_migration,
+    verify_plan,
+    verify_query,
+)
+from .sanitizer import (
+    SanitizerViolation,
+    StreamSanitizer,
+    ensure_installed,
+    install,
+    sanitized,
+    uninstall,
+)
+
+__all__ = [
+    "Diagnostic",
+    "MigrationVerdict",
+    "OperatorClassification",
+    "PlanVerdict",
+    "SanitizerViolation",
+    "SplitBound",
+    "StrategyVerdict",
+    "StreamSanitizer",
+    "classify_logical",
+    "classify_operator",
+    "ensure_installed",
+    "figure2_plans",
+    "install",
+    "sanitized",
+    "uninstall",
+    "verify_box",
+    "verify_migration",
+    "verify_plan",
+    "verify_query",
+]

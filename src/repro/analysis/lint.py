@@ -1,0 +1,309 @@
+"""Project-specific AST lint rules for the engine code itself.
+
+Generic linters cannot know this codebase's temporal contract, so three
+rules are enforced here with the stdlib ``ast`` module (no third-party
+dependency — ``ruff``/``mypy`` run additionally in CI):
+
+``RLB001``
+    No wall-clock reads under ``engine/`` or ``operators/``.  The executor
+    is a deterministic application-time simulator (the paper's
+    sufficient-resources assumption, Section 4.4); a single
+    ``time.time()`` in an operator makes runs irreproducible and couples
+    snapshots to the host clock.
+
+``RLB002``
+    A class overriding ``_on_watermark`` must purge through a sweep-area
+    API (``expire``/``expire_before``/``evict``/``evict_until``/
+    ``drain``) somewhere in its body.  Hand-rolled purge loops bypass the
+    expiry index and the incremental state accounting, which the memory
+    metrics and migration-progress checks are built on.
+
+``RLB003``
+    A ``StatefulOperator`` subclass overriding ``process_batch`` must
+    define ``_on_run_tail`` or explicitly declare ``batch_fallback =
+    True``.  The batch fast path defers per-element advances; an override
+    that ignores the run-tail hook silently loses the amortisation or,
+    worse, the element-protocol equivalence.
+
+Run locally or in CI::
+
+    PYTHONPATH=src python -m repro.analysis.lint [paths...]
+
+Exit status is 1 when any finding is reported.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+#: Sweep-area purge entry points recognised by RLB002.
+PURGE_APIS = frozenset({"expire", "expire_before", "evict", "evict_until", "drain"})
+
+#: (module, attribute) pairs whose call is a wall-clock read (RLB001).
+WALL_CLOCKS = frozenset(
+    {
+        ("time", "time"),
+        ("time", "monotonic"),
+        ("time", "monotonic_ns"),
+        ("time", "perf_counter"),
+        ("time", "perf_counter_ns"),
+        ("time", "process_time"),
+        ("time", "time_ns"),
+        ("datetime", "now"),
+        ("datetime", "today"),
+        ("datetime", "utcnow"),
+    }
+)
+
+#: Directories (path components) in which RLB001 applies.
+WALL_CLOCK_SCOPE = ("engine", "operators")
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.code} {self.message}"
+
+
+# --------------------------------------------------------------------- #
+# Per-module facts
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class _ClassFacts:
+    """What one class definition tells the rules."""
+
+    name: str
+    line: int
+    bases: Tuple[str, ...]
+    methods: Set[str]
+    assigns: Set[str]
+    watermark_def: Optional[ast.FunctionDef]
+    process_batch_def: Optional[ast.FunctionDef]
+    calls_purge_api: bool
+
+
+def _base_name(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _scan_class(node: ast.ClassDef) -> _ClassFacts:
+    methods: Set[str] = set()
+    assigns: Set[str] = set()
+    watermark_def: Optional[ast.FunctionDef] = None
+    process_batch_def: Optional[ast.FunctionDef] = None
+    for item in node.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            methods.add(item.name)
+            if item.name == "_on_watermark" and isinstance(item, ast.FunctionDef):
+                watermark_def = item
+            if item.name == "process_batch" and isinstance(item, ast.FunctionDef):
+                process_batch_def = item
+        elif isinstance(item, ast.Assign):
+            for target in item.targets:
+                if isinstance(target, ast.Name):
+                    assigns.add(target.id)
+        elif isinstance(item, ast.AnnAssign) and isinstance(item.target, ast.Name):
+            assigns.add(item.target.id)
+    calls_purge = False
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            callee = sub.func
+            name = None
+            if isinstance(callee, ast.Attribute):
+                name = callee.attr
+            elif isinstance(callee, ast.Name):
+                name = callee.id
+            if name in PURGE_APIS:
+                calls_purge = True
+                break
+    return _ClassFacts(
+        name=node.name,
+        line=node.lineno,
+        bases=tuple(b for b in (_base_name(base) for base in node.bases) if b),
+        methods=methods,
+        assigns=assigns,
+        watermark_def=watermark_def,
+        process_batch_def=process_batch_def,
+        calls_purge_api=calls_purge,
+    )
+
+
+def _wall_clock_findings(tree: ast.AST, path: str) -> List[LintFinding]:
+    #: local alias → (module, attribute) from ``from time import monotonic``.
+    aliased: Dict[str, Tuple[str, str]] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module in ("time", "datetime"):
+            for alias in node.names:
+                aliased[alias.asname or alias.name] = (node.module, alias.name)
+    findings: List[LintFinding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        callee = node.func
+        hit: Optional[Tuple[str, str]] = None
+        if isinstance(callee, ast.Attribute) and isinstance(callee.value, ast.Name):
+            candidate = (callee.value.id, callee.attr)
+            if candidate in WALL_CLOCKS:
+                hit = candidate
+        elif isinstance(callee, ast.Name) and callee.id in aliased:
+            candidate = aliased[callee.id]
+            if candidate in WALL_CLOCKS:
+                hit = candidate
+        if hit is not None:
+            findings.append(
+                LintFinding(
+                    path,
+                    node.lineno,
+                    "RLB001",
+                    f"wall-clock read {hit[0]}.{hit[1]}() in engine/operator "
+                    "code: the executor is a deterministic application-time "
+                    "simulator; derive time from stream elements instead",
+                )
+            )
+    return findings
+
+
+# --------------------------------------------------------------------- #
+# The linter
+# --------------------------------------------------------------------- #
+
+
+class Linter:
+    """Two-pass linter: collect class facts everywhere, then apply rules."""
+
+    def __init__(self) -> None:
+        self._modules: List[Tuple[str, ast.AST, List[_ClassFacts]]] = []
+        self._hierarchy: Dict[str, Tuple[str, ...]] = {}
+
+    def add_source(self, code: str, path: str) -> None:
+        tree = ast.parse(code, filename=path)
+        facts = [
+            _scan_class(node)
+            for node in ast.walk(tree)
+            if isinstance(node, ast.ClassDef)
+        ]
+        for cls in facts:
+            self._hierarchy[cls.name] = cls.bases
+        self._modules.append((path, tree, facts))
+
+    def add_path(self, path: Path) -> None:
+        self.add_source(path.read_text(encoding="utf-8"), str(path))
+
+    def _is_stateful(self, name: str, seen: Optional[Set[str]] = None) -> bool:
+        """Whether ``name`` transitively derives from StatefulOperator.
+
+        Resolution is by class *name* across all scanned modules — sound
+        for this codebase's flat namespace, and the conservative direction
+        for a linter (an unknown base simply does not match).
+        """
+        if name == "StatefulOperator":
+            return True
+        seen = seen or set()
+        if name in seen:
+            return False
+        seen.add(name)
+        return any(
+            self._is_stateful(base, seen) for base in self._hierarchy.get(name, ())
+        )
+
+    def run(self) -> List[LintFinding]:
+        findings: List[LintFinding] = []
+        for path, tree, classes in self._modules:
+            parts = Path(path).parts
+            if any(scope in parts for scope in WALL_CLOCK_SCOPE):
+                findings.extend(_wall_clock_findings(tree, path))
+            for cls in classes:
+                findings.extend(self._class_findings(path, cls))
+        return findings
+
+    def _class_findings(self, path: str, cls: _ClassFacts) -> List[LintFinding]:
+        findings: List[LintFinding] = []
+        if (
+            cls.watermark_def is not None
+            and cls.name != "Operator"
+            and not cls.calls_purge_api
+        ):
+            findings.append(
+                LintFinding(
+                    path,
+                    cls.watermark_def.lineno,
+                    "RLB002",
+                    f"{cls.name}._on_watermark purges without a sweep-area "
+                    f"API ({', '.join(sorted(PURGE_APIS))}): hand-rolled "
+                    "purge loops bypass the expiry index and the "
+                    "incremental state accounting",
+                )
+            )
+        if (
+            cls.process_batch_def is not None
+            and cls.name != "StatefulOperator"
+            and self._is_stateful(cls.name)
+            and "_on_run_tail" not in cls.methods
+            and "batch_fallback" not in cls.assigns
+        ):
+            findings.append(
+                LintFinding(
+                    path,
+                    cls.process_batch_def.lineno,
+                    "RLB003",
+                    f"{cls.name} overrides process_batch without defining "
+                    "_on_run_tail or declaring `batch_fallback = True`: "
+                    "batch overrides must either handle the run tail or "
+                    "opt out of the amortised path explicitly",
+                )
+            )
+        return findings
+
+
+def lint_source(code: str, path: str = "<string>") -> List[LintFinding]:
+    """Lint one source string (single-module hierarchy)."""
+    linter = Linter()
+    linter.add_source(code, path)
+    return linter.run()
+
+
+def lint_paths(paths: Iterable[Path]) -> List[LintFinding]:
+    """Lint ``.py`` files under the given files/directories."""
+    linter = Linter()
+    for path in paths:
+        if path.is_dir():
+            for file in sorted(path.rglob("*.py")):
+                linter.add_path(file)
+        else:
+            linter.add_path(path)
+    return linter.run()
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args:
+        root = Path(__file__).resolve().parents[1]  # src/repro
+        args = [str(root)]
+    findings = lint_paths(Path(arg) for arg in args)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"{len(findings)} lint finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    sys.exit(main())

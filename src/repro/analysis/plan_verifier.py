@@ -1,0 +1,838 @@
+"""The plan verifier: static analysis for snapshot-equivalence and
+migration safety.
+
+The paper's correctness results are *structural*: Parallel Track is sound
+only for join-only boxes (Section 3, Note 1), the reference-point
+optimization only for start-preserving plans (Section 4.5), GenMig with
+coalesce for any plan built from snapshot-reducible operators (Theorem 1),
+and ``T_split`` must exceed every time instant reachable inside the old
+box (Lemma 1, Remark 3).  This module turns those facts into checkable
+verdicts *before* a migration runs against live traffic:
+
+* **schema propagation** over logical plans — every attribute reference is
+  re-validated bottom-up, independently of the constructor checks, so a
+  broken transformation rule or a hand-built subclass is caught as a
+  diagnostic rather than a corrupt result;
+* **per-operator classification** — snapshot-reducible / start-preserving
+  / stateful-non-join, for logical nodes and physical operators alike
+  (subsuming :func:`repro.core.strategy.classify_box`);
+* **migration-safety verdicts** per strategy (PT / RP / GenMig), each with
+  a machine-readable diagnostic list.  The paper's Figure 2
+  counter-example — duplicate elimination pushed below a join, then
+  migrated with Parallel Track — surfaces here as a ``PT001`` lint
+  failure naming the offending operator;
+* a **static ``T_split`` bound**: the latest time instant reachable
+  inside the old box, derived from the window sizes along each source
+  path (``max(t_Si) + w + b``), against which a proposed split time can
+  be checked.
+
+Verdicts are plain data (:class:`PlanVerdict`), consumed by
+:func:`repro.core.strategy.select_strategy`, the autonomic controller,
+the re-optimizer's candidate gate, the DOT renderer and the
+``python -m repro.analysis`` CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Tuple
+
+from ..plans.expressions import Schema
+from ..plans.logical import (
+    AggregateNode,
+    DifferenceNode,
+    DistinctNode,
+    JoinNode,
+    LogicalPlan,
+    ProjectNode,
+    Query,
+    SelectNode,
+    Source,
+    UnionNode,
+)
+from ..temporal.time import EPSILON, MAX_TIME, Time
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine.box import Box
+
+# --------------------------------------------------------------------- #
+# Diagnostics
+# --------------------------------------------------------------------- #
+
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+#: Canonical strategy names, matching ``select_strategy`` preferences.
+PARALLEL_TRACK = "parallel-track"
+REFERENCE_POINT = "reference-point"
+GENMIG = "genmig"
+STRATEGIES = (PARALLEL_TRACK, REFERENCE_POINT, GENMIG)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of the verifier: severity, stable code, plain message.
+
+    ``operator`` names the offending operator or plan node when the
+    finding is local to one; codes are stable identifiers (``PT001``,
+    ``SCH002``, ``TS001``, ...) intended for machine consumption.
+    """
+
+    severity: str
+    code: str
+    message: str
+    operator: Optional[str] = None
+
+    def __str__(self) -> str:
+        where = f" [{self.operator}]" if self.operator else ""
+        return f"{self.code} {self.severity}{where}: {self.message}"
+
+
+# --------------------------------------------------------------------- #
+# Operator classification
+# --------------------------------------------------------------------- #
+
+#: Classification kinds and their trait rows:
+#: (start_preserving, stateful, pt_compatible, counts_for_join_only).
+_KIND_TRAITS: Dict[str, Tuple[bool, bool, bool, bool]] = {
+    # Sources and sigma/pi: no state, validity passes through.
+    "source": (True, False, True, True),
+    "stateless": (True, False, True, True),
+    # Joins: stateful, but every result starts at a contributing input's
+    # start, and PT's lineage flags partition their results correctly.
+    "join": (True, True, True, True),
+    # The order-restoring union: start-preserving and PT-flag-compatible,
+    # but outside the join-only shapes the PT baseline is benchmarked on.
+    "order-restoring": (True, True, True, False),
+    # Duplicate elimination, aggregation, difference: results may start
+    # mid-interval, and old/new lineage cannot partition them.
+    "general": (False, True, False, False),
+}
+
+
+@dataclass(frozen=True)
+class OperatorClassification:
+    """The migration-relevant traits of one operator or plan node."""
+
+    label: str
+    kind: str
+    snapshot_reducible: bool
+    start_preserving: bool
+    stateful: bool
+    pt_compatible: bool
+
+    @classmethod
+    def of_kind(
+        cls, label: str, kind: str, snapshot_reducible: bool = True
+    ) -> "OperatorClassification":
+        start_preserving, stateful, pt_compatible, _ = _KIND_TRAITS[kind]
+        return cls(
+            label=label,
+            kind=kind,
+            snapshot_reducible=snapshot_reducible,
+            start_preserving=start_preserving,
+            stateful=stateful,
+            pt_compatible=pt_compatible,
+        )
+
+    @property
+    def description(self) -> str:
+        """Human-readable trait summary (used by the DOT annotations)."""
+        traits = []
+        traits.append(
+            "snapshot-reducible" if self.snapshot_reducible else "NOT snapshot-reducible"
+        )
+        traits.append(
+            "start-preserving" if self.start_preserving else "stateful-non-join"
+        )
+        if self.stateful and self.kind == "join":
+            traits.append("join")
+        return ", ".join(traits)
+
+
+def classify_logical(node: LogicalPlan) -> OperatorClassification:
+    """Classify one logical plan node (children are not inspected)."""
+    label = _node_label(node)
+    if isinstance(node, Source):
+        return OperatorClassification.of_kind(label, "source")
+    if isinstance(node, (SelectNode, ProjectNode)):
+        return OperatorClassification.of_kind(label, "stateless")
+    if isinstance(node, JoinNode):
+        return OperatorClassification.of_kind(label, "join")
+    if isinstance(node, UnionNode):
+        return OperatorClassification.of_kind(label, "order-restoring")
+    if isinstance(node, (DistinctNode, AggregateNode, DifferenceNode)):
+        return OperatorClassification.of_kind(label, "general")
+    # Unknown node types are treated as general (always sound for GenMig
+    # as long as they are snapshot-reducible, which the verdict flags).
+    return OperatorClassification.of_kind(label, "general")
+
+
+def classify_operator(op: object) -> Tuple[OperatorClassification, Optional[Diagnostic]]:
+    """Classify one physical operator.
+
+    Operators may self-declare via a ``migration_profile`` class attribute
+    (one of the :data:`_KIND_TRAITS` kinds) — the extension point for
+    user-defined operators; otherwise the built-in operator types are
+    recognised structurally.  Unknown operators degrade to ``general``
+    with a warning: that is always sound for GenMig provided the operator
+    is snapshot-reducible, which only its author can promise.
+    """
+    from ..operators.aggregate import Aggregate
+    from ..operators.base import StatelessOperator
+    from ..operators.difference import Difference
+    from ..operators.duplicate import DuplicateElimination
+    from ..operators.filter import Select
+    from ..operators.join import _JoinBase
+    from ..operators.project import Project
+    from ..operators.union import Union
+
+    label = getattr(op, "name", type(op).__name__)
+    reducible = bool(getattr(op, "snapshot_reducible", True))
+    declared = getattr(op, "migration_profile", None)
+    if declared is not None:
+        if declared not in _KIND_TRAITS:
+            return (
+                OperatorClassification.of_kind(label, "general", reducible),
+                Diagnostic(
+                    ERROR,
+                    "CLS001",
+                    f"operator declares unknown migration_profile {declared!r}; "
+                    f"expected one of {sorted(_KIND_TRAITS)}",
+                    operator=label,
+                ),
+            )
+        return OperatorClassification.of_kind(label, declared, reducible), None
+    if isinstance(op, _JoinBase):
+        return OperatorClassification.of_kind(label, "join", reducible), None
+    if isinstance(op, (Select, Project)):
+        return OperatorClassification.of_kind(label, "stateless", reducible), None
+    if isinstance(op, Union):
+        return OperatorClassification.of_kind(label, "order-restoring", reducible), None
+    if isinstance(op, (DuplicateElimination, Aggregate, Difference)):
+        return OperatorClassification.of_kind(label, "general", reducible), None
+    if isinstance(op, StatelessOperator):
+        return OperatorClassification.of_kind(label, "stateless", reducible), None
+    return (
+        OperatorClassification.of_kind(label, "general", reducible),
+        Diagnostic(
+            WARNING,
+            "CLS002",
+            f"unknown operator type {type(op).__name__}: treated as general "
+            "(GenMig-only); declare a migration_profile to classify it",
+            operator=label,
+        ),
+    )
+
+
+# --------------------------------------------------------------------- #
+# Strategy verdicts
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class StrategyVerdict:
+    """Whether one migration strategy is sound for the analysed plan."""
+
+    strategy: str
+    safe: bool
+    diagnostics: Tuple[Diagnostic, ...] = ()
+
+
+def _strategy_verdicts(
+    operators: Tuple[OperatorClassification, ...],
+) -> Dict[str, StrategyVerdict]:
+    pt_diags: List[Diagnostic] = []
+    rp_diags: List[Diagnostic] = []
+    gm_diags: List[Diagnostic] = []
+    for cls in operators:
+        if not cls.pt_compatible:
+            pt_diags.append(
+                Diagnostic(
+                    ERROR,
+                    "PT001",
+                    f"operator {cls.label!r} is stateful but not a join: "
+                    "Parallel Track's old/new lineage flags cannot partition "
+                    "its results (paper Section 3, Figure 2 counter-example); "
+                    "its output validities can cross the migration start and "
+                    "collide with new-box results",
+                    operator=cls.label,
+                )
+            )
+        if not cls.start_preserving:
+            rp_diags.append(
+                Diagnostic(
+                    ERROR,
+                    "RP001",
+                    f"operator {cls.label!r} is not start-preserving: its "
+                    "results may start mid-interval, so the reference-point "
+                    "filter at T_split would drop or duplicate snapshots "
+                    "(paper Section 4.5); use GenMig with coalesce",
+                    operator=cls.label,
+                )
+            )
+        if not cls.snapshot_reducible:
+            gm_diags.append(
+                Diagnostic(
+                    ERROR,
+                    "GM001",
+                    f"operator {cls.label!r} is not snapshot-reducible: no "
+                    "black-box migration strategy is sound for it (GenMig's "
+                    "correctness rests on snapshot-equivalent boxes, "
+                    "Theorem 1)",
+                    operator=cls.label,
+                )
+            )
+    return {
+        PARALLEL_TRACK: StrategyVerdict(
+            PARALLEL_TRACK, not pt_diags and not gm_diags, tuple(pt_diags + gm_diags)
+        ),
+        REFERENCE_POINT: StrategyVerdict(
+            REFERENCE_POINT, not rp_diags and not gm_diags, tuple(rp_diags + gm_diags)
+        ),
+        GENMIG: StrategyVerdict(GENMIG, not gm_diags, tuple(gm_diags)),
+    }
+
+
+def _profile(operators: Tuple[OperatorClassification, ...]) -> str:
+    """The legacy three-way profile of ``classify_box``."""
+    join_only = True
+    start_preserving = True
+    for cls in operators:
+        if cls.kind == "source":
+            continue
+        if not _KIND_TRAITS[cls.kind][3]:
+            join_only = False
+        if not cls.start_preserving:
+            start_preserving = False
+    if join_only:
+        return "join-only"
+    if start_preserving:
+        return "start-preserving"
+    return "general"
+
+
+# --------------------------------------------------------------------- #
+# The static T_split bound
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class SplitBound:
+    """The reachable-time-instant bound of Lemma 1, statically derived.
+
+    Every raw element of source ``s`` with start timestamp ``t`` has, after
+    windowing, a validity contained in ``[t, t + b + w_s)`` where ``b``
+    bounds raw interval lengths (1 chronon for ordinary timestamped
+    inputs) and ``w_s`` is the source's window.  The old box can therefore
+    never reference a time instant at or beyond
+    ``max_s(latest_start_s + b + w_s)``; a sound ``T_split`` must lie
+    strictly above every instant *below* that horizon.
+    """
+
+    interval_bound: Time
+    windows: Mapping[str, Time]
+
+    @property
+    def global_window(self) -> Time:
+        """The global window constraint ``w`` (maximum over all inputs)."""
+        return max(self.windows.values())
+
+    @property
+    def offset(self) -> Time:
+        """``w + b``: the horizon's distance from the latest start seen."""
+        return self.global_window + self.interval_bound
+
+    def horizon(self, latest_starts: Mapping[str, Time]) -> Time:
+        """Exclusive upper bound on instants reachable inside the old box."""
+        return max(
+            latest_starts[name] + self.interval_bound + window
+            for name, window in self.windows.items()
+            if name in latest_starts
+        )
+
+    def recommended_split(self, latest_starts: Mapping[str, Time]) -> Time:
+        """The paper's choice: ``max(t_Si) + w + b - EPSILON`` (Remark 3)."""
+        return max(latest_starts.values()) + self.offset - EPSILON
+
+    def check(
+        self, t_split: Time, latest_starts: Mapping[str, Time]
+    ) -> List[Diagnostic]:
+        """Validate a proposed split time against the static bound."""
+        diagnostics: List[Diagnostic] = []
+        horizon = self.horizon(latest_starts)
+        # The last *integer* instant the old box can reference is
+        # horizon - 1; T_split must lie strictly above it.
+        if t_split <= horizon - 1:
+            diagnostics.append(
+                Diagnostic(
+                    ERROR,
+                    "TS001",
+                    f"T_split={t_split} does not exceed the reachable horizon "
+                    f"of the old box (instants up to {horizon - 1} are still "
+                    f"referenced by consumed input): old-box state would be "
+                    f"truncated mid-validity, corrupting snapshots",
+                )
+            )
+        if isinstance(t_split, int) or t_split == int(t_split):
+            diagnostics.append(
+                Diagnostic(
+                    WARNING,
+                    "TS002",
+                    f"T_split={t_split} lies on the chronon grid: Remark 3 "
+                    "requires sub-chronon granularity so the split never "
+                    "coincides with a start or end timestamp",
+                )
+            )
+        if t_split > horizon:
+            diagnostics.append(
+                Diagnostic(
+                    INFO,
+                    "TS003",
+                    f"T_split={t_split} exceeds the horizon {horizon}: sound, "
+                    "but the parallel phase is prolonged by the slack",
+                )
+            )
+        return diagnostics
+
+
+# --------------------------------------------------------------------- #
+# The verdict
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class PlanVerdict:
+    """Everything the verifier can say about one plan, box or query."""
+
+    target: str
+    profile: str
+    operators: Tuple[OperatorClassification, ...]
+    diagnostics: Tuple[Diagnostic, ...]
+    strategies: Dict[str, StrategyVerdict] = field(default_factory=dict)
+    split_bound: Optional[SplitBound] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity diagnostic was found."""
+        return not self.errors
+
+    @property
+    def errors(self) -> Tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity == ERROR)
+
+    def safe_strategies(self) -> Tuple[str, ...]:
+        """The migration strategies sound for this plan, safest last."""
+        return tuple(name for name in STRATEGIES if self.strategies[name].safe)
+
+    def all_diagnostics(self) -> Tuple[Diagnostic, ...]:
+        """Plan diagnostics plus every strategy verdict's diagnostics."""
+        merged = list(self.diagnostics)
+        for name in STRATEGIES:
+            verdict = self.strategies.get(name)
+            if verdict is not None:
+                merged.extend(verdict.diagnostics)
+        return tuple(merged)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Machine-readable rendering (the CLI's ``--json`` output)."""
+        return {
+            "target": self.target,
+            "profile": self.profile,
+            "ok": self.ok,
+            "operators": [
+                {
+                    "label": c.label,
+                    "kind": c.kind,
+                    "snapshot_reducible": c.snapshot_reducible,
+                    "start_preserving": c.start_preserving,
+                    "stateful": c.stateful,
+                    "pt_compatible": c.pt_compatible,
+                }
+                for c in self.operators
+            ],
+            "diagnostics": [
+                {
+                    "severity": d.severity,
+                    "code": d.code,
+                    "message": d.message,
+                    "operator": d.operator,
+                }
+                for d in self.all_diagnostics()
+            ],
+            "strategies": {
+                name: verdict.safe for name, verdict in self.strategies.items()
+            },
+        }
+
+    def report(self) -> str:
+        """Human-readable multi-line report (the CLI's default output)."""
+        lines = [f"plan: {self.target}", f"profile: {self.profile}"]
+        lines.append("operators:")
+        for cls in self.operators:
+            lines.append(f"  {cls.label:<40} {cls.kind:<16} {cls.description}")
+        lines.append("strategies:")
+        for name in STRATEGIES:
+            verdict = self.strategies.get(name)
+            if verdict is None:
+                continue
+            state = "safe" if verdict.safe else "UNSAFE"
+            lines.append(f"  {name:<16} {state}")
+            for diag in verdict.diagnostics:
+                lines.append(f"    {diag}")
+        if self.split_bound is not None:
+            bound = self.split_bound
+            lines.append(
+                f"T_split bound: max(t_Si) + w + b with w={bound.global_window}, "
+                f"b={bound.interval_bound} (offset {bound.offset})"
+            )
+        if self.diagnostics:
+            lines.append("diagnostics:")
+            for diag in self.diagnostics:
+                lines.append(f"  {diag}")
+        return "\n".join(lines)
+
+
+# --------------------------------------------------------------------- #
+# Logical-plan verification
+# --------------------------------------------------------------------- #
+
+
+def _node_label(node: LogicalPlan) -> str:
+    """One-line label of a node without rendering its whole subtree."""
+    if isinstance(node, Source):
+        return node.name
+    if isinstance(node, SelectNode):
+        return f"select[{node.predicate!r}]"
+    if isinstance(node, ProjectNode):
+        return f"project[{', '.join(name for _, name in node.outputs)}]"
+    if isinstance(node, JoinNode):
+        condition = repr(node.condition) if node.condition is not None else "true"
+        return f"join[{condition}]"
+    if isinstance(node, DistinctNode):
+        return "distinct"
+    if isinstance(node, AggregateNode):
+        aggregates = ", ".join(spec.output_name() for spec in node.aggregates)
+        group = f" by {list(node.group_by)}" if node.group_by else ""
+        return f"aggregate[{aggregates}{group}]"
+    if isinstance(node, UnionNode):
+        return "union"
+    if isinstance(node, DifferenceNode):
+        return "difference"
+    return type(node).__name__
+
+
+def _validate_schemas(plan: LogicalPlan, diagnostics: List[Diagnostic]) -> Schema:
+    """Recompute schemas bottom-up, re-validating attribute references.
+
+    Independent of the constructor checks on purpose: a transformation
+    rule that rebuilds nodes incorrectly, or a subclass overriding
+    ``schema``, is caught here instead of corrupting results downstream.
+    """
+    label = _node_label(plan)
+    child_schemas = [_validate_schemas(child, diagnostics) for child in plan.children]
+
+    def check_columns(columns: set, available: set, code: str, what: str) -> None:
+        missing = columns - available
+        if missing:
+            diagnostics.append(
+                Diagnostic(
+                    ERROR,
+                    code,
+                    f"{what} references unknown columns {sorted(missing)} "
+                    f"(available: {sorted(available)})",
+                    operator=label,
+                )
+            )
+
+    computed: Schema
+    if isinstance(plan, Source):
+        computed = plan.schema
+    elif isinstance(plan, SelectNode):
+        check_columns(
+            plan.predicate.columns(), set(child_schemas[0]), "SCH002", "predicate"
+        )
+        computed = child_schemas[0]
+    elif isinstance(plan, ProjectNode):
+        available = set(child_schemas[0])
+        for expression, _ in plan.outputs:
+            check_columns(expression.columns(), available, "SCH003", "projection")
+        computed = tuple(name for _, name in plan.outputs)
+    elif isinstance(plan, JoinNode):
+        overlap = set(child_schemas[0]) & set(child_schemas[1])
+        if overlap:
+            diagnostics.append(
+                Diagnostic(
+                    ERROR,
+                    "SCH004",
+                    f"join inputs share column names {sorted(overlap)}",
+                    operator=label,
+                )
+            )
+        if plan.condition is not None:
+            check_columns(
+                plan.condition.columns(),
+                set(child_schemas[0]) | set(child_schemas[1]),
+                "SCH005",
+                "join condition",
+            )
+        computed = child_schemas[0] + child_schemas[1]
+    elif isinstance(plan, AggregateNode):
+        available = set(child_schemas[0])
+        for spec in plan.aggregates:
+            if spec.column is not None and spec.column not in available:
+                diagnostics.append(
+                    Diagnostic(
+                        ERROR,
+                        "SCH006",
+                        f"aggregate references unknown column {spec.column!r}",
+                        operator=label,
+                    )
+                )
+        check_columns(set(plan.group_by), available, "SCH006", "GROUP BY")
+        computed = plan.group_by + tuple(spec.output_name() for spec in plan.aggregates)
+    elif isinstance(plan, (UnionNode, DifferenceNode)):
+        if len(child_schemas[0]) != len(child_schemas[1]):
+            diagnostics.append(
+                Diagnostic(
+                    ERROR,
+                    "SCH007",
+                    f"inputs have different arity: {child_schemas[0]} vs "
+                    f"{child_schemas[1]}",
+                    operator=label,
+                )
+            )
+        computed = child_schemas[0]
+    elif isinstance(plan, DistinctNode):
+        computed = child_schemas[0]
+    else:
+        computed = plan.schema
+    declared = plan.schema
+    if tuple(declared) != tuple(computed):
+        diagnostics.append(
+            Diagnostic(
+                ERROR,
+                "SCH001",
+                f"declared schema {list(declared)} does not match the schema "
+                f"propagated from the children {list(computed)}",
+                operator=label,
+            )
+        )
+    return computed
+
+
+def _collect_classifications(
+    plan: LogicalPlan, out: List[OperatorClassification]
+) -> None:
+    out.append(classify_logical(plan))
+    for child in plan.children:
+        _collect_classifications(child, out)
+
+
+def verify_plan(plan: LogicalPlan) -> PlanVerdict:
+    """Statically verify one logical plan: schemas and migration safety."""
+    diagnostics: List[Diagnostic] = []
+    _validate_schemas(plan, diagnostics)
+    classifications: List[OperatorClassification] = []
+    _collect_classifications(plan, classifications)
+    operators = tuple(classifications)
+    return PlanVerdict(
+        target=plan.signature(),
+        profile=_profile(operators),
+        operators=operators,
+        diagnostics=tuple(diagnostics),
+        strategies=_strategy_verdicts(operators),
+    )
+
+
+def verify_query(query: Query, interval_bound: Time = 1) -> PlanVerdict:
+    """Verify a complete query: the plan plus its window metadata."""
+    verdict = verify_plan(query.plan)
+    diagnostics = list(verdict.diagnostics)
+    missing = set(query.plan.sources()) - set(query.windows)
+    if missing:
+        diagnostics.append(
+            Diagnostic(
+                ERROR,
+                "WIN001",
+                f"no window declared for sources {sorted(missing)}: their "
+                "state would never expire and T_split would be unreachable",
+            )
+        )
+    for name, window in query.windows.items():
+        if window >= MAX_TIME:
+            diagnostics.append(
+                Diagnostic(
+                    WARNING,
+                    "WIN002",
+                    f"source {name!r} has an unbounded window: a GenMig "
+                    "migration over it can never complete (the old box "
+                    "never drains)",
+                )
+            )
+    windows = {
+        name: window for name, window in query.windows.items() if window < MAX_TIME
+    }
+    verdict.diagnostics = tuple(diagnostics)
+    if windows:
+        verdict.split_bound = SplitBound(
+            interval_bound=interval_bound, windows=dict(windows)
+        )
+    return verdict
+
+
+# --------------------------------------------------------------------- #
+# Physical-box verification
+# --------------------------------------------------------------------- #
+
+
+def verify_box(box: "Box") -> PlanVerdict:
+    """Verify a physical box: wiring sanity plus migration safety."""
+    diagnostics: List[Diagnostic] = []
+    classifications: List[OperatorClassification] = []
+    for op in box.operators:
+        classification, diag = classify_operator(op)
+        classifications.append(classification)
+        if diag is not None:
+            diagnostics.append(diag)
+
+    # Wiring sanity: every input port of every operator must be fed by a
+    # tap or an upstream subscription, exactly once.
+    feeds: Dict[Tuple[int, int], int] = {}
+    for ports in box.taps.values():
+        for op, port in ports:
+            feeds[(id(op), port)] = feeds.get((id(op), port), 0) + 1
+    for op in box.operators:
+        for downstream, port in getattr(op, "subscribers", []):
+            feeds[(id(downstream), port)] = feeds.get((id(downstream), port), 0) + 1
+    by_id = {id(op): op for op in box.operators}
+    for op in box.operators:
+        for port in range(getattr(op, "arity", 1)):
+            count = feeds.get((id(op), port), 0)
+            if count == 0 and box.taps:
+                diagnostics.append(
+                    Diagnostic(
+                        WARNING,
+                        "BOX002",
+                        f"input port {port} receives no tap or upstream "
+                        "subscription: the operator can never make progress "
+                        "on it (its watermark stays at the origin, blocking "
+                        "expiration downstream)",
+                        operator=getattr(op, "name", type(op).__name__),
+                    )
+                )
+            elif count > 1:
+                diagnostics.append(
+                    Diagnostic(
+                        WARNING,
+                        "BOX003",
+                        f"input port {port} is fed by {count} upstreams: "
+                        "interleaved feeds on one port break per-port "
+                        "start-timestamp monotonicity",
+                        operator=getattr(op, "name", type(op).__name__),
+                    )
+                )
+    if id(box.root) not in by_id:
+        diagnostics.append(
+            Diagnostic(
+                ERROR,
+                "BOX001",
+                f"root operator {getattr(box.root, 'name', box.root)!r} is "
+                "not part of the box's operator list",
+            )
+        )
+    operators = tuple(classifications)
+    return PlanVerdict(
+        target=box.label or "box",
+        profile=_profile(operators),
+        operators=operators,
+        diagnostics=tuple(diagnostics),
+        strategies=_strategy_verdicts(operators),
+    )
+
+
+# --------------------------------------------------------------------- #
+# Migration verification (old/new box pairs)
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class MigrationVerdict:
+    """The combined analysis of an old/new box pair.
+
+    ``recommended`` is the cheapest strategy sound for *both* boxes under
+    the default policy (reference-point when both are start-preserving,
+    GenMig with coalesce otherwise; Parallel Track is never recommended —
+    it exists as a baseline), and ``reason`` states the justification the
+    controller logs.
+    """
+
+    old: PlanVerdict
+    new: PlanVerdict
+    strategies: Dict[str, StrategyVerdict]
+    recommended: str
+    reason: str
+
+    @property
+    def profiles(self) -> frozenset:
+        return frozenset((self.old.profile, self.new.profile))
+
+
+def verify_migration(old_box: "Box", new_box: "Box") -> MigrationVerdict:
+    """Analyse an old/new box pair and recommend a sound strategy."""
+    old = verify_box(old_box)
+    new = verify_box(new_box)
+    strategies: Dict[str, StrategyVerdict] = {}
+    for name in STRATEGIES:
+        safe = old.strategies[name].safe and new.strategies[name].safe
+        diagnostics = old.strategies[name].diagnostics + new.strategies[name].diagnostics
+        strategies[name] = StrategyVerdict(name, safe, diagnostics)
+    if strategies[REFERENCE_POINT].safe:
+        recommended = REFERENCE_POINT
+        reason = (
+            "both boxes are start-preserving: the reference-point "
+            "optimization saves the coalesce operator's memory and CPU"
+        )
+    else:
+        recommended = GENMIG
+        offenders = sorted(
+            {
+                d.operator
+                for d in strategies[REFERENCE_POINT].diagnostics
+                if d.operator is not None
+            }
+        )
+        reason = (
+            f"non-start-preserving operators {offenders} require GenMig "
+            "with coalesce (the general strategy)"
+        )
+    return MigrationVerdict(
+        old=old, new=new, strategies=strategies, recommended=recommended, reason=reason
+    )
+
+
+# --------------------------------------------------------------------- #
+# The Figure 2 counter-example, as data
+# --------------------------------------------------------------------- #
+
+
+def figure2_plans() -> Tuple[LogicalPlan, LogicalPlan]:
+    """The paper's Figure 2 pair: ``distinct(A ⋈ B)`` and its push-down.
+
+    The second plan — duplicate elimination pushed below the join — is the
+    counter-example that breaks Parallel Track: its ``distinct`` operators
+    are stateful non-joins, so :func:`verify_plan` rejects PT for it with
+    a ``PT001`` diagnostic while accepting GenMig.
+    """
+    from ..optimizer.rules import push_down_distinct
+    from ..plans.expressions import Comparison, Field
+
+    original = DistinctNode(
+        JoinNode(
+            Source("A", ["x"]),
+            Source("B", ["y"]),
+            Comparison("=", Field("A.x"), Field("B.y")),
+        )
+    )
+    return original, push_down_distinct(original)

@@ -15,9 +15,13 @@ gate at its output.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 from ..temporal.time import Time
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..analysis.plan_verifier import MigrationVerdict, PlanVerdict
+    from ..engine.box import Box
 
 
 class UnsupportedPlanError(RuntimeError):
@@ -58,6 +62,10 @@ class MigrationStrategy:
 
     name = "abstract"
 
+    #: Attached by :func:`select_strategy`: the static analysis that
+    #: justified this strategy for the old/new box pair.
+    selection_verdict: Optional["MigrationVerdict"] = None
+
     def __init__(self) -> None:
         self.finished = False
         self._report: Optional[MigrationReport] = None
@@ -93,7 +101,26 @@ class MigrationStrategy:
         return self._report
 
 
-def classify_box(box) -> str:
+class BoxClassification(str):
+    """The migration profile of a box, enriched with the verifier verdict.
+
+    Compares equal to the legacy profile strings (``"join-only"``,
+    ``"start-preserving"``, ``"general"``) — the compat shim for existing
+    callers — while carrying the full structured analysis as ``verdict``
+    (a :class:`~repro.analysis.plan_verifier.PlanVerdict`): per-operator
+    classifications, per-strategy safety and machine-readable diagnostics.
+    New code should consume ``verdict`` rather than the string.
+    """
+
+    verdict: "PlanVerdict"
+
+    def __new__(cls, verdict: "PlanVerdict") -> "BoxClassification":
+        self = str.__new__(cls, verdict.profile)
+        self.verdict = verdict
+        return self
+
+
+def classify_box(box: "Box") -> BoxClassification:
     """Classify a box by the migration strategies that are sound for it.
 
     Returns ``"join-only"`` (joins plus stateless operators — the shapes
@@ -101,29 +128,20 @@ def classify_box(box) -> str:
     order-restoring union — the reference-point optimization's scope) or
     ``"general"`` (everything else: duplicate elimination, aggregation,
     difference — GenMig-with-coalesce territory).
+
+    The classification is delegated to the plan verifier
+    (:func:`repro.analysis.plan_verifier.verify_box`); the returned value
+    is string-compatible but carries the structured verdict as
+    ``.verdict``.
     """
-    from ..operators.filter import Select
-    from ..operators.join import _JoinBase
-    from ..operators.project import Project
-    from ..operators.union import Union
+    from ..analysis.plan_verifier import verify_box
 
-    join_only = True
-    start_preserving = True
-    for operator in box.operators:
-        if isinstance(operator, (_JoinBase, Select, Project)):
-            continue
-        join_only = False
-        if isinstance(operator, Union):
-            continue
-        start_preserving = False
-    if join_only:
-        return "join-only"
-    if start_preserving:
-        return "start-preserving"
-    return "general"
+    return BoxClassification(verify_box(box))
 
 
-def select_strategy(old_box, new_box, prefer: str = "auto") -> MigrationStrategy:
+def select_strategy(
+    old_box: "Box", new_box: "Box", prefer: str = "auto"
+) -> MigrationStrategy:
     """Pick the cheapest sound migration strategy for an old/new box pair.
 
     The default policy (``prefer="auto"``) uses the reference-point
@@ -134,18 +152,28 @@ def select_strategy(old_box, new_box, prefer: str = "auto") -> MigrationStrategy
     ``"parallel-track"``); an unsound preference silently degrades to the
     closest sound choice rather than failing mid-flight — in particular the
     Parallel Track baseline is only ever selected for join-only plans.
+
+    Soundness is decided by the plan verifier
+    (:func:`repro.analysis.plan_verifier.verify_migration`); the verdict —
+    including the per-strategy diagnostics that justify the choice — is
+    attached to the returned strategy as ``selection_verdict``.
     """
+    from ..analysis.plan_verifier import REFERENCE_POINT, verify_migration
     from .genmig import GenMig
     from .parallel_track import ParallelTrack
     from .reference_point import ReferencePointGenMig
 
     if prefer not in ("auto", "coalesce", "reference-point", "parallel-track"):
         raise ValueError(f"unknown strategy preference {prefer!r}")
+    verdict = verify_migration(old_box, new_box)
+    strategy: MigrationStrategy
     if prefer == "coalesce":
-        return GenMig()
-    profiles = {classify_box(old_box), classify_box(new_box)}
-    if prefer == "parallel-track" and profiles == {"join-only"}:
-        return ParallelTrack()
-    if "general" not in profiles:
-        return ReferencePointGenMig()
-    return GenMig()
+        strategy = GenMig()
+    elif prefer == "parallel-track" and verdict.profiles == {"join-only"}:
+        strategy = ParallelTrack()
+    elif verdict.strategies[REFERENCE_POINT].safe:
+        strategy = ReferencePointGenMig()
+    else:
+        strategy = GenMig()
+    strategy.selection_verdict = verdict
+    return strategy

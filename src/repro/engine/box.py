@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from ..operators import base as _operator_base
 from ..operators.base import Operator
 from ..temporal.batch import Batch
 from ..temporal.element import StreamElement
@@ -92,6 +93,8 @@ class Router(Operator):
 
     def process_batch(self, batch: Batch, port: int = 0) -> None:
         """Forward a whole batch in one dispatch per subscriber."""
+        if _operator_base.SANITIZER is not None:
+            _operator_base.SANITIZER.on_batch(self, batch, 0)
         watermarks = self._watermarks
         if batch.elements[0].start < watermarks[0]:
             raise ValueError(
@@ -133,7 +136,10 @@ class OutputGate:
 
     def process(self, element: StreamElement, port: int = 0) -> None:
         """Deliver one result to every sink."""
-        if element.start < self._last_start:
+        violated = element.start < self._last_start
+        if _operator_base.SANITIZER is not None:
+            _operator_base.SANITIZER.on_gate(self, element, violated)
+        if violated:
             self.order_violations += 1
         else:
             self._last_start = element.start

@@ -16,8 +16,10 @@ under which application and system time coincide (Section 4.4).
 from __future__ import annotations
 
 import heapq
+import os
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ..operators import base as _operator_base
 from ..operators.base import NULL_METER, CostMeter, Operator
 from ..operators.window import TimeWindow
 from ..streams.stream import PhysicalStream
@@ -58,6 +60,10 @@ class QueryExecutor:
             element, which is the reference migration timing; batching is
             snapshot-equivalent but may chunk the strategy's transitions at
             run boundaries.
+        sanitize: install the process-wide stream-invariant sanitizer
+            (:mod:`repro.analysis.sanitizer`) for this run.  Defaults to
+            the ``REPRO_SANITIZE`` environment variable; when off, the
+            engine's sanitizer hooks cost a single ``is None`` test.
     """
 
     def __init__(
@@ -72,6 +78,7 @@ class QueryExecutor:
         interval_bound: Time = 1,
         batch_size: int = 64,
         batch_during_migration: bool = False,
+        sanitize: Optional[bool] = None,
     ) -> None:
         missing = set(sources) - set(windows)
         if missing:
@@ -91,6 +98,17 @@ class QueryExecutor:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self.batch_size = batch_size
         self.batch_during_migration = batch_during_migration
+        if sanitize is None:
+            sanitize = os.environ.get("REPRO_SANITIZE", "").lower() in (
+                "1",
+                "true",
+                "yes",
+                "on",
+            )
+        if sanitize:
+            from ..analysis.sanitizer import ensure_installed
+
+            ensure_installed()
         self.statistics = StatisticsCatalog()
 
         self.gate = OutputGate()
@@ -285,6 +303,10 @@ class QueryExecutor:
         self._poll_strategy()
 
     def _ingest(self, name: str, element) -> None:
+        if _operator_base.SANITIZER is not None:
+            _operator_base.SANITIZER.on_source(
+                name, element, self.source_watermarks[name]
+            )
         self.source_watermarks[name] = element.start
         windowed_end = element.end + self.windows[name]
         if windowed_end > self.source_max_ends[name]:
@@ -345,6 +367,10 @@ class QueryExecutor:
             self.clock = max(self.clock, start)
             self._sample_metrics_if_new_bucket()
             group = elements[i:j]
+            if _operator_base.SANITIZER is not None:
+                watermark = self.source_watermarks[name]
+                for element in group:
+                    _operator_base.SANITIZER.on_source(name, element, watermark)
             self.source_watermarks[name] = start
             max_end = self.source_max_ends[name]
             for element in group:

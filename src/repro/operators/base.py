@@ -66,6 +66,12 @@ class _NullMeter:
 
 NULL_METER = _NullMeter()
 
+#: The active stream-invariant sanitizer, or ``None`` (the default).
+#: Installed by :mod:`repro.analysis.sanitizer` — the analysis layer sets
+#: this module global so the engine need not import it; when unset, every
+#: hook below is a single ``is None`` test (the ``sweep.DEBUG`` pattern).
+SANITIZER = None
+
 
 class Operator:
     """Base class of all physical operators.
@@ -137,6 +143,8 @@ class Operator:
     def process(self, element: StreamElement, port: int = 0) -> None:
         """Consume one input element on ``port``."""
         self._check_port(port)
+        if SANITIZER is not None:
+            SANITIZER.on_input(self, element, port)
         if element.start < self._watermarks[port]:
             raise ValueError(
                 f"{self.name}: out-of-order element on port {port}: "
@@ -158,6 +166,8 @@ class Operator:
         for the batches it accepts and fall back to this loop otherwise.
         """
         self._check_port(port)
+        if SANITIZER is not None:
+            SANITIZER.on_batch(self, batch, port)
         watermarks = self._watermarks
         wm = watermarks[port]
         on_element = self._on_element
@@ -280,6 +290,8 @@ class Operator:
 
     def _emit(self, element: StreamElement) -> None:
         """Forward ``element`` to all subscribers immediately."""
+        if SANITIZER is not None:
+            SANITIZER.on_emit(self, element)
         for downstream, port in self._subscribers:
             downstream.process(element, port)
         for sink in self._sinks:
@@ -292,6 +304,8 @@ class Operator:
         instead of one per element); sinks keep their element-wise duck
         type unless they expose ``process_batch`` themselves.
         """
+        if SANITIZER is not None:
+            SANITIZER.on_emit_batch(self, batch)
         for downstream, port in self._subscribers:
             downstream.process_batch(batch, port)
         for sink in self._sinks:
@@ -349,12 +363,23 @@ class Operator:
         if promise > self._emitted_watermark:
             self._emitted_watermark = promise
             self._emit_heartbeat(min(promise, MAX_TIME))
+        if SANITIZER is not None:
+            SANITIZER.on_advance(self)
+
+    #: True while :meth:`flush` drains staged output unconditionally; the
+    #: sanitizer suspends its emission-order checks for the drain (there is
+    #: no more input to order against).
+    _draining = False
 
     def flush(self) -> None:
         """Release all staged output unconditionally (end-of-stream drain)."""
-        while self._heap:
-            self._emit(heapq.heappop(self._heap)[2])
-        self._staged_values = 0
+        self._draining = True
+        try:
+            while self._heap:
+                self._emit(heapq.heappop(self._heap)[2])
+            self._staged_values = 0
+        finally:
+            self._draining = False
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name!r}>"
@@ -390,6 +415,8 @@ class StatefulOperator(Operator):
             super().process_batch(batch, port)
             return
         self._check_port(port)
+        if SANITIZER is not None:
+            SANITIZER.on_batch(self, batch, port)
         start = elements[0].start
         if start < self._watermarks[port]:
             raise ValueError(

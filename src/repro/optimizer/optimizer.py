@@ -39,6 +39,10 @@ class OptimizationDecision:
     reason: Optional[str] = None
     migration_cost: float = 0.0
     projected_savings: float = 0.0
+    #: The chosen plan's static-analysis verdict
+    #: (:class:`~repro.analysis.plan_verifier.PlanVerdict`), or ``None``
+    #: when no plan was chosen.
+    verdict: Optional[object] = None
 
     @property
     def migrate(self) -> bool:
@@ -92,7 +96,15 @@ class ReOptimizer:
     # ------------------------------------------------------------------ #
 
     def candidates(self, plan: LogicalPlan) -> List[LogicalPlan]:
-        """Equivalent plans produced by the transformation rules."""
+        """Equivalent plans produced by the transformation rules.
+
+        Every candidate is vetted by the plan verifier before it competes
+        on cost: a transformation-rule bug that breaks schema propagation
+        is caught here as a dropped candidate instead of a corrupt plan
+        installed into a running query.
+        """
+        from ..analysis.plan_verifier import verify_plan
+
         seeds = [plan, push_down_selections(plan), push_down_distinct(plan)]
         alternatives: List[LogicalPlan] = []
         seen = set()
@@ -101,7 +113,8 @@ class ReOptimizer:
                 signature = candidate.signature()
                 if signature not in seen:
                     seen.add(signature)
-                    alternatives.append(candidate)
+                    if verify_plan(candidate).ok:
+                        alternatives.append(candidate)
         return alternatives
 
     # ------------------------------------------------------------------ #
@@ -153,6 +166,11 @@ class ReOptimizer:
             if projected_savings <= migration_cost:
                 best_plan = None
                 reason = "migration-cost"
+        verdict = None
+        if best_plan is not None:
+            from ..analysis.plan_verifier import verify_plan
+
+            verdict = verify_plan(best_plan)
         decision = OptimizationDecision(
             current_cost=current_cost,
             best_cost=best_cost,
@@ -161,6 +179,7 @@ class ReOptimizer:
             reason=reason,
             migration_cost=migration_cost,
             projected_savings=projected_savings,
+            verdict=verdict,
         )
         self.decisions.append(decision)
         return decision

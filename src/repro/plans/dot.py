@@ -2,15 +2,27 @@
 
 Pure string generation — no graphviz dependency.  Render with any dot
 tool, e.g. ``dot -Tsvg plan.dot -o plan.svg``.
+
+Nodes are annotated with the plan verifier's classifications: every
+non-source node carries a ``tooltip`` naming its migration traits
+(snapshot-reducible / start-preserving / stateful-non-join), stateful
+nodes are colored, and any subtree unsafe for the Parallel Track baseline
+— a stateful non-join anywhere below — is outlined red up to the root, so
+the Figure 2 shape is visible at a glance.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from ..engine.box import Box
 from ..operators.base import Operator
-from .logical import LogicalPlan
+from .logical import LogicalPlan, Source
+
+#: Outline colors: red for PT-unsafe (stateful non-join in the subtree),
+#: green for safe stateful operators (joins, the order-restoring union).
+_UNSAFE_COLOR = "#c62828"
+_STATEFUL_COLOR = "#2e7d32"
 
 
 def _escape(text: str) -> str:
@@ -19,6 +31,7 @@ def _escape(text: str) -> str:
 
 def plan_to_dot(plan: LogicalPlan, name: str = "plan") -> str:
     """Render a logical plan tree as a DOT digraph (edges flow upward)."""
+    from ..analysis.plan_verifier import classify_logical
     from ..cql.unparse import _shallow_label
 
     lines = [
@@ -28,14 +41,26 @@ def plan_to_dot(plan: LogicalPlan, name: str = "plan") -> str:
     ]
     counter = {"next": 0}
 
-    def visit(node: LogicalPlan) -> str:
+    def visit(node: LogicalPlan) -> Tuple[str, bool]:
         identifier = f"n{counter['next']}"
         counter["next"] += 1
-        lines.append(f'  {identifier} [label="{_escape(_shallow_label(node))}"];')
+        classification = classify_logical(node)
+        attrs = [f'label="{_escape(_shallow_label(node))}"']
+        edges: List[str] = []
+        pt_unsafe = not classification.pt_compatible
         for child in node.children:
-            child_id = visit(child)
-            lines.append(f"  {child_id} -> {identifier};")
-        return identifier
+            child_id, child_unsafe = visit(child)
+            pt_unsafe = pt_unsafe or child_unsafe
+            edges.append(f"  {child_id} -> {identifier};")
+        if not isinstance(node, Source):
+            attrs.append(f'tooltip="{_escape(classification.description)}"')
+            if pt_unsafe:
+                attrs.append(f'color="{_UNSAFE_COLOR}"')
+            elif classification.stateful:
+                attrs.append(f'color="{_STATEFUL_COLOR}"')
+        lines.append(f"  {identifier} [{', '.join(attrs)}];")
+        lines.extend(edges)
+        return identifier, pt_unsafe
 
     visit(plan)
     lines.append("}")
@@ -44,6 +69,8 @@ def plan_to_dot(plan: LogicalPlan, name: str = "plan") -> str:
 
 def box_to_dot(box: Box, name: str = "") -> str:
     """Render a physical box: operators, subscriptions, taps and root."""
+    from ..analysis.plan_verifier import classify_operator
+
     lines = [
         f'digraph "{_escape(name or box.label or "box")}" {{',
         "  rankdir=BT;",
@@ -53,8 +80,16 @@ def box_to_dot(box: Box, name: str = "") -> str:
     for index, operator in enumerate(box.operators):
         identifier = f"op{index}"
         identifiers[id(operator)] = identifier
+        classification, _ = classify_operator(operator)
         shape = ' style="bold"' if operator is box.root else ""
-        lines.append(f'  {identifier} [label="{_escape(operator.name)}"{shape}];')
+        annotations = f', tooltip="{_escape(classification.description)}"'
+        if not classification.pt_compatible:
+            annotations += f', color="{_UNSAFE_COLOR}"'
+        elif classification.stateful:
+            annotations += f', color="{_STATEFUL_COLOR}"'
+        lines.append(
+            f'  {identifier} [label="{_escape(operator.name)}"{shape}{annotations}];'
+        )
     for source, ports in sorted(box.taps.items()):
         source_id = f"src_{source}"
         lines.append(

@@ -176,6 +176,7 @@ class AutonomicController:
             executor.box, new_box, prefer=self.policy.strategy
         )
         handle.pending_plan = decision.chosen
+        verdict = strategy.selection_verdict
         handle.events.record(
             now,
             ev.MIGRATED,
@@ -185,6 +186,10 @@ class AutonomicController:
             best_cost=decision.best_cost,
             migration_cost=decision.migration_cost,
             projected_savings=decision.projected_savings,
+            # The static analysis justifying the strategy choice: the two
+            # boxes' migration profiles and the verifier's reasoning.
+            profiles=sorted(verdict.profiles) if verdict is not None else None,
+            justification=verdict.reason if verdict is not None else None,
         )
         executor.start_migration(new_box, strategy)
 

@@ -1,0 +1,125 @@
+"""Tests for the project-specific AST lint rules (RLB001–RLB003)."""
+
+from pathlib import Path
+
+from repro.analysis.lint import Linter, lint_paths, lint_source, main
+
+
+def codes(findings):
+    return [finding.code for finding in findings]
+
+
+class TestWallClock:
+    def test_wall_clock_in_engine_scope_flagged(self):
+        code = "import time\n\ndef now():\n    return time.time()\n"
+        findings = lint_source(code, path="src/repro/engine/clock.py")
+        assert codes(findings) == ["RLB001"]
+        assert "deterministic application-time simulator" in findings[0].message
+
+    def test_aliased_import_flagged(self):
+        code = "from time import monotonic as mono\n\nx = mono()\n"
+        findings = lint_source(code, path="src/repro/operators/bad.py")
+        assert codes(findings) == ["RLB001"]
+
+    def test_wall_clock_outside_scope_allowed(self):
+        code = "import time\n\ndef now():\n    return time.time()\n"
+        assert lint_source(code, path="src/repro/service/clock.py") == []
+
+    def test_application_time_is_fine(self):
+        code = "def advance(self, t):\n    self.clock = t\n"
+        assert lint_source(code, path="src/repro/engine/ok.py") == []
+
+
+class TestPurgeRule:
+    def test_hand_rolled_purge_flagged(self):
+        code = (
+            "class Dedup(StatefulOperator):\n"
+            "    def _on_watermark(self, watermark):\n"
+            "        self.state = [e for e in self.state if e.end > watermark]\n"
+        )
+        findings = lint_source(code)
+        assert codes(findings) == ["RLB002"]
+        assert "sweep-area" in findings[0].message
+
+    def test_sweep_area_purge_allowed(self):
+        code = (
+            "class Dedup(StatefulOperator):\n"
+            "    def _on_watermark(self, watermark):\n"
+            "        self.area.expire(watermark)\n"
+        )
+        assert lint_source(code) == []
+
+    def test_base_operator_default_exempt(self):
+        code = (
+            "class Operator:\n"
+            "    def _on_watermark(self, watermark):\n"
+            "        pass\n"
+        )
+        assert lint_source(code) == []
+
+
+class TestBatchOverrideRule:
+    def test_override_without_run_tail_flagged(self):
+        code = (
+            "class MyJoin(StatefulOperator):\n"
+            "    def process_batch(self, batch, port=0):\n"
+            "        pass\n"
+        )
+        findings = lint_source(code)
+        assert codes(findings) == ["RLB003"]
+        assert "_on_run_tail" in findings[0].message
+
+    def test_override_with_run_tail_allowed(self):
+        code = (
+            "class MyJoin(StatefulOperator):\n"
+            "    def process_batch(self, batch, port=0):\n"
+            "        pass\n"
+            "    def _on_run_tail(self, elements, port):\n"
+            "        pass\n"
+        )
+        assert lint_source(code) == []
+
+    def test_declared_fallback_allowed(self):
+        code = (
+            "class MyJoin(StatefulOperator):\n"
+            "    batch_fallback = True\n"
+            "    def process_batch(self, batch, port=0):\n"
+            "        pass\n"
+        )
+        assert lint_source(code) == []
+
+    def test_stateless_override_not_flagged(self):
+        code = (
+            "class Fast(StatelessOperator):\n"
+            "    def process_batch(self, batch, port=0):\n"
+            "        pass\n"
+        )
+        assert lint_source(code) == []
+
+    def test_transitive_stateful_base_resolved(self):
+        linter = Linter()
+        linter.add_source(
+            "class Middle(StatefulOperator):\n    pass\n", "middle.py"
+        )
+        linter.add_source(
+            "class Leaf(Middle):\n"
+            "    def process_batch(self, batch, port=0):\n"
+            "        pass\n",
+            "leaf.py",
+        )
+        assert codes(linter.run()) == ["RLB003"]
+
+
+class TestWholeTree:
+    def test_src_tree_is_clean(self):
+        src = Path(__file__).resolve().parents[2] / "src" / "repro"
+        assert lint_paths([src]) == []
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        assert main([]) == 0  # default scan over src/repro
+        bad = tmp_path / "engine" / "bad.py"
+        bad.parent.mkdir()
+        bad.write_text("import time\nx = time.time()\n", encoding="utf-8")
+        assert main([str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "RLB001" in out

@@ -1,0 +1,254 @@
+"""Sanitizer tests: deliberately broken operators must be caught.
+
+Each violation class gets an injected defect — an operator (or batch, or
+source feed) engineered to break exactly one stream invariant — and the
+test asserts the sanitizer raises :class:`SanitizerViolation` with the
+right code and an actionable message.  A hypothesis suite drives the
+broken operators over arbitrary monotone streams so the detection does
+not depend on a hand-picked timestamp pattern.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.sanitizer import (
+    SanitizerViolation,
+    StreamSanitizer,
+    sanitized,
+)
+from repro.engine.box import Box, OutputGate
+from repro.operators.base import Operator, StatefulOperator, StatelessOperator
+from repro.streams import PhysicalStream
+from repro.engine import QueryExecutor
+from repro.temporal.batch import Batch
+from repro.temporal.element import StreamElement, element
+from repro.temporal.interval import TimeInterval
+
+
+def _forged_interval(start, end):
+    """Build a TimeInterval bypassing its constructor validation."""
+    interval = object.__new__(TimeInterval)
+    object.__setattr__(interval, "start", start)
+    object.__setattr__(interval, "end", end)
+    return interval
+
+
+class InvertedIntervalOperator(StatelessOperator):
+    """Broken: emits elements whose validity interval is inverted."""
+
+    def _on_element(self, elem, port):
+        self._emit(elem.with_interval(_forged_interval(elem.end, elem.start)))
+
+
+class OutOfOrderEmitter(StatelessOperator):
+    """Broken: emits two results per input in descending start order."""
+
+    def _on_element(self, elem, port):
+        bumped = elem.with_interval(TimeInterval(elem.start + 1, elem.end + 1))
+        self._emit(bumped)
+        self._emit(elem)
+
+
+class BelowPromiseEmitter(StatelessOperator):
+    """Broken: emits a result below the watermark it already promised."""
+
+    def _on_element(self, elem, port):
+        if self._emitted_watermark > 0:
+            self._emit(
+                elem.with_interval(
+                    TimeInterval(self._emitted_watermark - 1, elem.end)
+                )
+            )
+        else:
+            self._emit(elem)
+
+
+class MiscountingOperator(StatefulOperator):
+    """Broken: its incremental state counter ignores the held elements."""
+
+    def __init__(self):
+        super().__init__(arity=1, name="miscount")
+        self._held = []
+
+    def _on_element(self, elem, port):
+        self._held.append(elem)
+
+    def state_elements(self):
+        return iter(self._held)
+
+    def _state_value_count(self):
+        return 0  # lies as soon as _held is non-empty
+
+
+def monotone_streams():
+    """Random monotone start sequences (the valid-input precondition)."""
+    return st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=20).map(
+        lambda deltas: [sum(deltas[: i + 1]) for i in range(len(deltas))]
+    )
+
+
+def feed(operator, starts):
+    collected = []
+
+    class _Sink:
+        def process(self, elem):
+            collected.append(elem)
+
+        def process_heartbeat(self, t):
+            pass
+
+    operator.attach_sink(_Sink())
+    for start in starts:
+        operator.process(element("e", start, start + 1), 0)
+    return collected
+
+
+class TestInjectedViolations:
+    @given(starts=monotone_streams())
+    @settings(max_examples=25, deadline=None)
+    def test_inverted_interval_caught(self, starts):
+        with sanitized():
+            with pytest.raises(SanitizerViolation) as info:
+                feed(InvertedIntervalOperator(name="inverter"), starts)
+        assert info.value.code == "SAN001"
+        assert "t_S must be < t_E" in str(info.value)
+        assert "inverter" in str(info.value)
+
+    @given(starts=monotone_streams())
+    @settings(max_examples=25, deadline=None)
+    def test_out_of_order_emission_caught(self, starts):
+        with sanitized():
+            with pytest.raises(SanitizerViolation) as info:
+                feed(OutOfOrderEmitter(name="shuffler"), starts)
+        assert info.value.code == "SAN003"
+        assert "non-decreasing start timestamps" in str(info.value)
+
+    @given(starts=monotone_streams())
+    @settings(max_examples=25, deadline=None)
+    def test_emission_below_promise_caught(self, starts):
+        with sanitized():
+            with pytest.raises(SanitizerViolation) as info:
+                # Prepend an element so there is always a promise to break.
+                feed(BelowPromiseEmitter(name="liar"), [2] + [s + 2 for s in starts])
+        assert info.value.code in ("SAN002", "SAN003")
+        assert "watermark" in str(info.value) or "physical stream" in str(info.value)
+
+    @given(starts=monotone_streams())
+    @settings(max_examples=25, deadline=None)
+    def test_state_miscount_caught(self, starts):
+        with sanitized():
+            with pytest.raises(SanitizerViolation) as info:
+                feed(MiscountingOperator(), starts)
+        assert info.value.code == "SAN007"
+        assert "running counter" in str(info.value)
+
+    def test_clean_operator_passes(self):
+        class Identity(StatelessOperator):
+            def _on_element(self, elem, port):
+                self._emit(elem)
+
+        with sanitized():
+            out = feed(Identity(), [1, 2, 2, 5])
+        assert len(out) == 4
+
+
+class TestBatchViolations:
+    def test_out_of_order_batch_caught(self):
+        target = StatelessOperator(name="sink-op")
+        target._on_element = lambda e, p: None
+        bad = Batch._trusted(
+            [element("a", 5, 6), element("b", 3, 4)], 5, None, False
+        )
+        with sanitized():
+            with pytest.raises(SanitizerViolation) as info:
+                target.process_batch(bad, 0)
+        assert info.value.code == "SAN004"
+
+    def test_false_uniform_flag_caught(self):
+        target = StatelessOperator(name="sink-op")
+        target._on_element = lambda e, p: None
+        bad = Batch._trusted(
+            [element("a", 1, 2), element("b", 4, 5)], 4, None, True
+        )
+        with sanitized():
+            with pytest.raises(SanitizerViolation) as info:
+                target.process_batch(bad, 0)
+        assert info.value.code == "SAN006"
+
+    def test_retracting_watermark_caught(self):
+        target = StatelessOperator(name="sink-op")
+        target._on_element = lambda e, p: None
+        bad = Batch._trusted([element("a", 5, 6)], 2, None, True)
+        with sanitized():
+            with pytest.raises(SanitizerViolation) as info:
+                target.process_batch(bad, 0)
+        assert info.value.code == "SAN005"
+
+
+class TestSourceViolations:
+    def _executor(self):
+        from repro.operators.filter import Select
+
+        op = Select(lambda row: True, name="pass")
+        box = Box(taps={"s": [(op, 0)]}, root=op)
+        return QueryExecutor(
+            {"s": PhysicalStream([])},
+            {"s": 5},
+            box,
+            global_heartbeats=False,
+        )
+
+    def test_source_regression_caught(self):
+        executor = self._executor()
+        with sanitized():
+            executor.push("s", element("a", 10, 11))
+            with pytest.raises(SanitizerViolation) as info:
+                executor.push("s", element("b", 7, 8))
+        assert info.value.code == "SAN008"
+        assert "start-timestamp order" in str(info.value)
+
+
+class TestGatePolicy:
+    def test_gate_violation_recorded_by_default(self):
+        gate = OutputGate()
+        with sanitized() as sanitizer:
+            gate.process(element("a", 10, 11))
+            gate.process(element("b", 5, 6))  # PT-flush-style anomaly
+        assert gate.order_violations == 1
+        assert len(sanitizer.gate_violations) == 1
+
+    def test_gate_violation_raises_in_strict_mode(self):
+        gate = OutputGate()
+        with sanitized(StreamSanitizer(strict_gate=True)):
+            gate.process(element("a", 10, 11))
+            with pytest.raises(SanitizerViolation) as info:
+                gate.process(element("b", 5, 6))
+        assert info.value.code == "SAN009"
+
+
+class TestZeroCostWhenOff:
+    def test_no_sanitizer_no_checks(self):
+        # Without installation the broken operator runs unchecked — the
+        # hooks must stay zero-cost (and silent) in production.
+        from repro.operators import base as operator_base
+
+        assert operator_base.SANITIZER is None
+        out = feed(InvertedIntervalOperator(name="inverter"), [1, 2, 3])
+        assert len(out) == 3
+
+    def test_executor_flag_installs(self):
+        from repro.analysis.sanitizer import uninstall
+        from repro.operators import base as operator_base
+        from repro.operators.filter import Select
+
+        op = Select(lambda row: True, name="pass")
+        box = Box(taps={"s": [(op, 0)]}, root=op)
+        try:
+            QueryExecutor(
+                {"s": PhysicalStream([])}, {"s": 5}, box, sanitize=True
+            )
+            assert operator_base.SANITIZER is not None
+        finally:
+            uninstall()
+        assert operator_base.SANITIZER is None

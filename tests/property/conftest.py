@@ -1,0 +1,21 @@
+"""Run the whole property suite under the stream-invariant sanitizer.
+
+The hypothesis suites are exactly where a broken invariant would hide —
+random workloads, random windows, random migration times — so every test
+in this package runs with the sanitizer installed.  The fixture is
+package-scoped: hypothesis forbids per-example (function-scoped) fixture
+work, and one process-wide installation for the suite is all that is
+needed.  Gate-order anomalies stay tolerated (the Parallel Track baseline
+produces them by design) and the O(state) recount stays on — these suites
+are small enough to afford it.
+"""
+
+import pytest
+
+from repro.analysis.sanitizer import StreamSanitizer, sanitized
+
+
+@pytest.fixture(autouse=True, scope="package")
+def _sanitized_suite():
+    with sanitized(StreamSanitizer()) as sanitizer:
+        yield sanitizer
