@@ -22,6 +22,14 @@ runs the operators' amortised batch path targets.  The headline scenario
 numbers use the batch feed at ``batch_size = rate``; a batch-size sweep
 (1, 2, rate) is recorded alongside, with size 1 being the element feed.
 
+A second pair of scenarios measures *operator fusion*: a filter-heavy
+five-stage stateless chain (select → project → select → select →
+project) built once unfused (``fuse=False``, the byte-identity oracle)
+and once fused into a single compiled-kernel operator.  Both runs report
+their meter totals — fusion must charge exactly what the unfused chain
+charges — and the fused run records the kernel compile-cache counters
+(``repro.plans.kernels.kernel_cache_stats``).
+
 Results are written to ``BENCH_hotpath.json``.  Pass ``--baseline
 path/to/old.json`` to embed a previously captured run (e.g. from the
 commit before a performance change) and the resulting speedup factors.
@@ -53,6 +61,20 @@ sys.path.insert(
 from repro.core import GenMig  # noqa: E402
 from repro.engine import Box, MetricsRecorder, QueryExecutor  # noqa: E402
 from repro.operators import CostMeter, NestedLoopsJoin  # noqa: E402
+from repro.plans import (  # noqa: E402
+    Arithmetic,
+    Comparison,
+    Field,
+    Literal,
+    Not,
+    Or,
+    PhysicalBuilder,
+    ProjectNode,
+    SelectNode,
+    Source,
+    clear_kernel_cache,
+    kernel_cache_stats,
+)
 from repro.streams import PhysicalStream  # noqa: E402
 from repro.temporal import Batch, element  # noqa: E402
 
@@ -229,6 +251,96 @@ def run_scenario(
     return result
 
 
+@dataclass(frozen=True)
+class FusionConfig:
+    """The filter-heavy stateless-chain workload (fusion scenarios)."""
+
+    count: int   # total elements on the single stream S
+    rate: int    # elements per chronon (also the headline batch size)
+    window: int  # time window applied at the tap
+    domain: int  # payload values drawn from [0, domain)
+
+
+FUSION_FULL = FusionConfig(count=240_000, rate=8, window=64, domain=1024)
+FUSION_SMOKE = FusionConfig(count=24_000, rate=8, window=64, domain=1024)
+
+S = Source("S", ["k", "v"])
+
+
+def filter_chain_plan(config: FusionConfig):
+    """Five stateless stages over one source — one maximal fusable chain.
+
+    Selectivities are tuned so every stage still sees real traffic (the
+    chain filters, it does not annihilate), which is the regime where
+    per-element dispatch dominates the unfused hot path.
+    """
+    s1 = SelectNode(
+        S, Comparison("<", Field("S.v"), Literal(3 * config.domain // 4))
+    )
+    p1 = ProjectNode(
+        s1,
+        [
+            (Field("S.k"), "k"),
+            (Arithmetic("+", Arithmetic("*", Field("S.v"), Literal(3)), Literal(1)), "w"),
+        ],
+    )
+    s2 = SelectNode(
+        p1, Not(Comparison("=", Arithmetic("%", Field("w"), Literal(7)), Literal(0)))
+    )
+    s3 = SelectNode(
+        s2,
+        Or(
+            Comparison("<", Field("k"), Literal(6)),
+            Comparison(">", Field("w"), Literal(config.domain * 2)),
+        ),
+    )
+    return ProjectNode(s3, [(Arithmetic("-", Field("w"), Field("k")), "out")])
+
+
+def make_fusion_batches(config: FusionConfig, batch_size: int) -> List[Batch]:
+    batches: List[Batch] = []
+    for offset in range(0, config.count, batch_size):
+        chunk = [
+            element(
+                ((i * _MIX) % 8, (i * _MIX) % config.domain),
+                i // config.rate,
+                i // config.rate + 1,
+            )
+            for i in range(offset, min(offset + batch_size, config.count))
+        ]
+        batches.append(Batch(chunk, source="S"))
+    return batches
+
+
+def run_fusion_scenario(
+    config: FusionConfig, fuse: bool, batch_size: int
+) -> Dict[str, object]:
+    """Steady-state throughput of the stateless chain, fused or not."""
+    box = PhysicalBuilder(fuse=fuse).build(filter_chain_plan(config))
+    executor = QueryExecutor(
+        {"S": PhysicalStream([], "S")},
+        {"S": config.window},
+        box,
+        meter=CostMeter(),
+    )
+    batches = make_fusion_batches(config, batch_size)
+    started = time.perf_counter()
+    for batch in batches:
+        executor.push_batch("S", batch)
+    executor.finish()
+    seconds = time.perf_counter() - started
+    return {
+        "batch_size": batch_size,
+        "fused": fuse,
+        "operators": len(box.operators),
+        "elements_timed": config.count,
+        "seconds": round(seconds, 6),
+        "elements_per_sec": round(config.count / seconds, 1),
+        "results_delivered": executor.gate.delivered,
+        "meter_total": executor.meter.total,
+    }
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -296,6 +408,40 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
         report["batch_sweep"][key] = sweep
 
+    fusion_config = FUSION_SMOKE if args.smoke else FUSION_FULL
+    clear_kernel_cache()
+    fusion_results: Dict[str, Dict[str, object]] = {}
+    for key, fuse in (("unfused_chain", False), ("fused_chain", True)):
+        result = run_fusion_scenario(fusion_config, fuse, fusion_config.rate)
+        fusion_results[key] = result
+        report["scenarios"][key] = result
+        print(
+            f"{key:16s} batch={fusion_config.rate:<3d} "
+            f"{result['elements_per_sec']:>12.1f} elements/sec "
+            f"({result['elements_timed']} elements in {result['seconds']:.3f} s, "
+            f"{result['operators']} operators)"
+        )
+    # Rebuilding the same plan (as the re-optimizer would for a candidate)
+    # must hit the structural compile cache, not recompile.
+    PhysicalBuilder().build(filter_chain_plan(fusion_config))
+    fused_speedup = (
+        fusion_results["fused_chain"]["elements_per_sec"]
+        / fusion_results["unfused_chain"]["elements_per_sec"]
+    )
+    report["fusion"] = {
+        "speedup": round(fused_speedup, 2),
+        "meter_totals_match": (
+            fusion_results["fused_chain"]["meter_total"]
+            == fusion_results["unfused_chain"]["meter_total"]
+        ),
+        "kernel_cache": kernel_cache_stats(),
+    }
+    print(
+        f"{'fusion':16s} speedup {fused_speedup:.2f}x, "
+        f"meter totals match: {report['fusion']['meter_totals_match']}, "
+        f"kernel cache: {report['fusion']['kernel_cache']}"
+    )
+
     if baseline is not None:
         comparison = {}
         for key, result in report["scenarios"].items():
@@ -323,6 +469,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         # which is exactly what a shared CI runner can check reliably.
         failed = False
         for key, result in report["scenarios"].items():
+            if key in ("fused_chain", "unfused_chain"):
+                # Gated below on the fused/unfused speedup — a same-run
+                # ratio, so it survives runner-to-runner absolute noise
+                # that the short stateless scenarios are sensitive to.
+                continue
             committed = regress.get("scenarios", {}).get(key)
             if not committed:
                 continue
@@ -333,6 +484,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"({committed['elements_per_sec']} elements/sec) [{status}]"
             )
             failed = failed or ratio < args.min_ratio
+        committed_fusion = regress.get("fusion")
+        if committed_fusion:
+            ratio = report["fusion"]["speedup"] / committed_fusion["speedup"]
+            status = "ok" if ratio >= args.min_ratio else "REGRESSION"
+            print(
+                f"{'fusion speedup':16s} {ratio:.2f}x of committed "
+                f"({committed_fusion['speedup']}x fused/unfused) [{status}]"
+            )
+            failed = failed or ratio < args.min_ratio
+            if not report["fusion"]["meter_totals_match"]:
+                print("fusion            fused meter total diverged [REGRESSION]")
+                failed = True
         if failed:
             print(f"throughput fell below {args.min_ratio:.2f}x of {args.regress}")
             return 1

@@ -25,6 +25,16 @@ dependency — ``ruff``/``mypy`` run additionally in CI):
     that ignores the run-tail hook silently loses the amortisation or,
     worse, the element-protocol equivalence.
 
+``RLB004``
+    Kernel-compiler inputs must be side-effect-free *expression trees*:
+    no ``lambda`` (or locally defined function) may be passed into
+    ``FusedStep``/``select_step``/``project_step``/``compile_kernel``/
+    ``FusedStateless``.  A bare callable cannot be inlined into generated
+    source, defeats the structural compile-cache key, and — unlike an
+    ``Expression`` — carries no side-effect-freedom contract, so a
+    stateful closure could silently break the fused/unfused
+    byte-identity the engine guarantees.
+
 Run locally or in CI::
 
     PYTHONPATH=src python -m repro.analysis.lint [paths...]
@@ -61,6 +71,12 @@ WALL_CLOCKS = frozenset(
 
 #: Directories (path components) in which RLB001 applies.
 WALL_CLOCK_SCOPE = ("engine", "operators")
+
+#: Kernel-compiler entry points whose inputs RLB004 checks: their
+#: expression arguments must be Expression trees, never bare callables.
+KERNEL_APIS = frozenset(
+    {"FusedStep", "FusedStateless", "compile_kernel", "select_step", "project_step"}
+)
 
 
 @dataclass(frozen=True)
@@ -180,6 +196,58 @@ def _wall_clock_findings(tree: ast.AST, path: str) -> List[LintFinding]:
     return findings
 
 
+def _kernel_input_findings(tree: ast.AST, path: str) -> List[LintFinding]:
+    """RLB004: no bare callables in kernel-compiler inputs.
+
+    Flags a ``lambda`` anywhere inside an argument to a kernel API, and a
+    plain name argument that resolves to a function defined in the same
+    module.  Expression trees are the only inspectable, cacheable,
+    side-effect-free currency the kernel compiler accepts.
+    """
+    defined_functions: Set[str] = {
+        node.name
+        for node in ast.walk(tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+    findings: List[LintFinding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        callee = node.func
+        name = None
+        if isinstance(callee, ast.Attribute):
+            name = callee.attr
+        elif isinstance(callee, ast.Name):
+            name = callee.id
+        if name not in KERNEL_APIS:
+            continue
+        arguments = list(node.args) + [kw.value for kw in node.keywords]
+        for argument in arguments:
+            offender: Optional[ast.AST] = None
+            what = ""
+            for sub in ast.walk(argument):
+                if isinstance(sub, ast.Lambda):
+                    offender, what = sub, "a lambda"
+                    break
+                if isinstance(sub, ast.Name) and sub.id in defined_functions:
+                    offender, what = sub, f"function {sub.id!r}"
+                    break
+            if offender is not None:
+                findings.append(
+                    LintFinding(
+                        path,
+                        getattr(offender, "lineno", node.lineno),
+                        "RLB004",
+                        f"{name}() receives {what}: kernel inputs must be "
+                        "side-effect-free Expression trees — a bare callable "
+                        "cannot be inlined into generated source, breaks the "
+                        "structural compile-cache key, and may smuggle side "
+                        "effects into a fused chain",
+                    )
+                )
+    return findings
+
+
 # --------------------------------------------------------------------- #
 # The linter
 # --------------------------------------------------------------------- #
@@ -229,6 +297,7 @@ class Linter:
             parts = Path(path).parts
             if any(scope in parts for scope in WALL_CLOCK_SCOPE):
                 findings.extend(_wall_clock_findings(tree, path))
+            findings.extend(_kernel_input_findings(tree, path))
             for cls in classes:
                 findings.extend(self._class_findings(path, cls))
         return findings

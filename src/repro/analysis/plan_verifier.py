@@ -187,6 +187,7 @@ def classify_operator(op: object) -> Tuple[OperatorClassification, Optional[Diag
     from ..operators.join import _JoinBase
     from ..operators.project import Project
     from ..operators.union import Union
+    from ..plans.fusion import FusedStateless
 
     label = getattr(op, "name", type(op).__name__)
     reducible = bool(getattr(op, "snapshot_reducible", True))
@@ -204,6 +205,32 @@ def classify_operator(op: object) -> Tuple[OperatorClassification, Optional[Diag
                 ),
             )
         return OperatorClassification.of_kind(label, declared, reducible), None
+    if isinstance(op, FusedStateless):
+        # A fused chain is exactly as migratable as its weakest member:
+        # derive the classification from the member profiles rather than
+        # trusting the container type.
+        kinds = tuple(op.member_profiles)
+        unknown = sorted({kind for kind in kinds if kind not in _KIND_TRAITS})
+        if unknown:
+            return (
+                OperatorClassification.of_kind(label, "general", reducible),
+                Diagnostic(
+                    ERROR,
+                    "CLS001",
+                    f"fused operator declares unknown member profiles "
+                    f"{unknown}; expected one of {sorted(_KIND_TRAITS)}",
+                    operator=label,
+                ),
+            )
+        traits = [_KIND_TRAITS[kind] for kind in kinds]
+        all_stateless = all(kind == "stateless" for kind in kinds)
+        start_preserving = all(t[0] for t in traits)
+        kind = (
+            "stateless"
+            if all_stateless
+            else ("order-restoring" if start_preserving else "general")
+        )
+        return OperatorClassification.of_kind(label, kind, reducible), None
     if isinstance(op, _JoinBase):
         return OperatorClassification.of_kind(label, "join", reducible), None
     if isinstance(op, (Select, Project)):

@@ -129,7 +129,17 @@ class MetricsRecorder:
     # ------------------------------------------------------------------ #
 
     def to_dict(self) -> dict:
-        """A JSON-serialisable snapshot of all recorded series."""
+        """A JSON-serialisable snapshot of all recorded series.
+
+        Includes the process-wide kernel compile-cache counters
+        (``kernel_cache``): fused plans compile their chains through
+        :func:`repro.plans.kernels.compile_kernel`, and a run whose
+        migrations keep re-compiling identical chains shows up here as a
+        low hit count.  The import is deferred — recording metrics must
+        not pull the plan layer in when no fused plan exists.
+        """
+        from ..plans.kernels import kernel_cache_stats
+
         return {
             "bucket_size": self.series.bucket_size,
             "output": self.output_rate(),
@@ -137,6 +147,7 @@ class MetricsRecorder:
             "cost": self.cumulative_cost(),
             "results": self.cumulative_results(),
             "events": list(self.events),
+            "kernel_cache": kernel_cache_stats(),
         }
 
     def dump(self, path: str) -> None:

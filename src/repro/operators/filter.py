@@ -8,7 +8,9 @@ from __future__ import annotations
 
 from typing import Callable
 
+from ..temporal.batch import Batch
 from ..temporal.element import Payload, StreamElement
+from . import base as _base
 from .base import StatelessOperator
 
 
@@ -35,3 +37,29 @@ class Select(StatelessOperator):
         self.meter.charge(self.cost, "select")
         if self.predicate(element.payload):
             self._stage(element)
+
+    def process_batch(self, batch: Batch, port: int = 0) -> None:
+        """Filter a whole run with one comprehension and one meter charge.
+
+        The charge aggregates exactly as the element loop would —
+        ``len(batch) * cost`` units in one call, same totals per run —
+        and survivors flow on as a single batch dispatch.
+        """
+        if _base.SANITIZER is not None:
+            _base.SANITIZER.on_batch(self, batch, 0)
+        watermarks = self._watermarks
+        elements = batch.elements
+        if elements[0].start < watermarks[0]:
+            raise ValueError(
+                f"{self.name}: out-of-order element on port 0: "
+                f"{elements[0].start} < watermark {watermarks[0]}"
+            )
+        watermarks[0] = elements[-1].start
+        self.meter.charge(len(elements) * self.cost, "select")
+        predicate = self.predicate
+        survivors = [e for e in elements if predicate(e.payload)]
+        if survivors:
+            self._emit_batch(batch.with_elements(survivors))
+        self._advance()
+        if batch.watermark > watermarks[0]:
+            self.process_heartbeat(batch.watermark, 0)

@@ -35,7 +35,16 @@ _ARITHMETIC = {
 
 
 class Expression:
-    """Base class of all expressions."""
+    """Base class of all expressions.
+
+    Equality and hashing are *structural*: each subclass exposes its
+    defining fields through :meth:`_key`, and two expressions are equal
+    exactly when they are the same type over equal fields.  The tuples
+    nest (sub-expressions appear in their parent's key), so whole trees
+    hash in one pass — fast and stable across processes, which the kernel
+    compile cache (:mod:`repro.plans.kernels`) relies on for its
+    ``(expression tree, schema)`` keys.
+    """
 
     def columns(self) -> FrozenSet[str]:
         """The column names this expression references."""
@@ -45,11 +54,15 @@ class Expression:
         """Compile into a payload function for the given schema."""
         raise NotImplementedError
 
+    def _key(self) -> Tuple[Any, ...]:
+        """The structural identity of this node (sub-expressions included)."""
+        raise NotImplementedError
+
     def __eq__(self, other: object) -> bool:
-        return type(self) is type(other) and self.__dict__ == other.__dict__
+        return type(self) is type(other) and self._key() == other._key()  # type: ignore[attr-defined]
 
     def __hash__(self) -> int:
-        return hash((type(self).__name__, repr(self.__dict__)))
+        return hash((type(self).__name__,) + self._key())
 
 
 class Field(Expression):
@@ -68,6 +81,9 @@ class Field(Expression):
             raise KeyError(f"column {self.name!r} not in schema {schema}") from None
         return lambda row: row[index]
 
+    def _key(self) -> Tuple[Any, ...]:
+        return (self.name,)
+
     def __repr__(self) -> str:
         return self.name
 
@@ -84,6 +100,16 @@ class Literal(Expression):
     def compile(self, schema: Schema) -> Callable[[Payload], Any]:
         value = self.value
         return lambda row: value
+
+    def _key(self) -> Tuple[Any, ...]:
+        # Unhashable constants (lists, dicts) degrade to their repr so the
+        # tree stays hashable; scalar literals — the normal case — compare
+        # by value.
+        try:
+            hash(self.value)
+        except TypeError:
+            return (repr(self.value),)
+        return (self.value,)
 
     def __repr__(self) -> str:
         return repr(self.value)
@@ -107,6 +133,9 @@ class Comparison(Expression):
         left = self.left.compile(schema)
         right = self.right.compile(schema)
         return lambda row: fn(left(row), right(row))
+
+    def _key(self) -> Tuple[Any, ...]:
+        return (self.op, self.left, self.right)
 
     def __repr__(self) -> str:
         return f"({self.left!r} {self.op} {self.right!r})"
@@ -136,6 +165,9 @@ class Arithmetic(Expression):
         right = self.right.compile(schema)
         return lambda row: fn(left(row), right(row))
 
+    def _key(self) -> Tuple[Any, ...]:
+        return (self.op, self.left, self.right)
+
     def __repr__(self) -> str:
         return f"({self.left!r} {self.op} {self.right!r})"
 
@@ -157,6 +189,9 @@ class And(Expression):
     def compile(self, schema: Schema) -> Callable[[Payload], bool]:
         compiled = [term.compile(schema) for term in self.terms]
         return lambda row: all(fn(row) for fn in compiled)
+
+    def _key(self) -> Tuple[Any, ...]:
+        return self.terms
 
     def __repr__(self) -> str:
         return " AND ".join(repr(term) for term in self.terms)
@@ -180,6 +215,9 @@ class Or(Expression):
         compiled = [term.compile(schema) for term in self.terms]
         return lambda row: any(fn(row) for fn in compiled)
 
+    def _key(self) -> Tuple[Any, ...]:
+        return self.terms
+
     def __repr__(self) -> str:
         return "(" + " OR ".join(repr(term) for term in self.terms) + ")"
 
@@ -196,6 +234,9 @@ class Not(Expression):
     def compile(self, schema: Schema) -> Callable[[Payload], bool]:
         inner = self.term.compile(schema)
         return lambda row: not inner(row)
+
+    def _key(self) -> Tuple[Any, ...]:
+        return (self.term,)
 
     def __repr__(self) -> str:
         return f"NOT {self.term!r}"

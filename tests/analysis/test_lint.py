@@ -1,4 +1,4 @@
-"""Tests for the project-specific AST lint rules (RLB001–RLB003)."""
+"""Tests for the project-specific AST lint rules (RLB001–RLB004)."""
 
 from pathlib import Path
 
@@ -108,6 +108,52 @@ class TestBatchOverrideRule:
             "leaf.py",
         )
         assert codes(linter.run()) == ["RLB003"]
+
+
+class TestKernelInputRule:
+    def test_lambda_argument_flagged(self):
+        code = "step = select_step(lambda row: row[0] > 1, schema)\n"
+        findings = lint_source(code)
+        assert codes(findings) == ["RLB004"]
+        assert "side-effect-free Expression trees" in findings[0].message
+
+    def test_lambda_nested_in_collection_flagged(self):
+        code = "kernel = compile_kernel([FusedStep, (lambda r: r,)])\n"
+        findings = lint_source(code)
+        assert "RLB004" in codes(findings)
+
+    def test_lambda_in_keyword_argument_flagged(self):
+        code = (
+            "step = FusedStep(kind='select', exprs=(lambda r: True,),\n"
+            "                 input_schema=s, output_schema=s)\n"
+        )
+        assert codes(lint_source(code)) == ["RLB004"]
+
+    def test_local_function_reference_flagged(self):
+        code = (
+            "def my_predicate(row):\n"
+            "    return row[0] > 1\n"
+            "\n"
+            "step = select_step(my_predicate, schema)\n"
+        )
+        findings = lint_source(code)
+        assert codes(findings) == ["RLB004"]
+        assert "my_predicate" in findings[0].message
+
+    def test_expression_tree_argument_allowed(self):
+        code = (
+            "step = select_step(Comparison('<', Field('v'), Literal(5)), schema)\n"
+            "fused = FusedStateless(steps=[step], members=['select'])\n"
+        )
+        assert lint_source(code) == []
+
+    def test_lambda_outside_kernel_apis_allowed(self):
+        code = "op = Select(lambda row: row[0] > 1, cost=2)\n"
+        assert lint_source(code) == []
+
+    def test_method_call_spelling_flagged(self):
+        code = "kernel = kernels.compile_kernel((lambda r: r,))\n"
+        assert codes(lint_source(code)) == ["RLB004"]
 
 
 class TestWholeTree:

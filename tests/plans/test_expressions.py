@@ -130,3 +130,27 @@ class TestEquality:
     def test_repr_is_readable(self):
         expr = And(Comparison("<", Field("a"), Literal(5)), Field("b"))
         assert "a < 5" in repr(expr)
+
+    def test_structural_hash_matches_equality(self):
+        left = And(Comparison("<", Field("a"), Literal(5)),
+                   Not(Comparison("=", Field("b"), Literal(2))))
+        right = And(Comparison("<", Field("a"), Literal(5)),
+                    Not(Comparison("=", Field("b"), Literal(2))))
+        assert left == right
+        assert hash(left) == hash(right)
+        assert len({left, right}) == 1
+
+    def test_different_types_same_fields_not_equal(self):
+        a = Comparison("<", Field("a"), Literal(5))
+        b = Comparison("<", Field("a"), Literal(6))
+        assert And(a, b) != Or(a, b)
+        assert Field("x") != Literal("x")
+
+    def test_trees_usable_as_dict_keys(self):
+        cache = {Arithmetic("+", Field("a"), Literal(1)): "kernel"}
+        assert cache[Arithmetic("+", Field("a"), Literal(1))] == "kernel"
+
+    def test_unhashable_literal_degrades_to_repr(self):
+        expr = Literal([1, 2, 3])
+        assert hash(expr) == hash(Literal([1, 2, 3]))
+        assert expr == Literal([1, 2, 3])

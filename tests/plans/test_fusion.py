@@ -1,0 +1,283 @@
+"""Tests for operator fusion and the kernel compiler."""
+
+import pytest
+
+from helpers import run_query
+from repro.analysis.plan_verifier import classify_operator, verify_box
+from repro.operators import HashJoin, Union
+from repro.plans import (
+    Arithmetic,
+    Comparison,
+    Field,
+    FusedStateless,
+    FusedStep,
+    JoinNode,
+    Literal,
+    Not,
+    Or,
+    PhysicalBuilder,
+    ProjectNode,
+    SelectNode,
+    Source,
+    UnionNode,
+    box_to_dot,
+    clear_kernel_cache,
+    compile_kernel,
+    fused_operators,
+    kernel_cache_stats,
+    project_step,
+    select_step,
+)
+from repro.streams import timestamped_stream
+from repro.temporal import StreamElement, TimeInterval
+
+
+def element(payload, start, end):
+    return StreamElement(payload, TimeInterval(start, end))
+
+A = Source("A", ["k", "v"])
+B = Source("B", ["k"])
+WINDOWS = {"A": 10, "B": 10}
+
+
+def chain_plan():
+    return SelectNode(
+        ProjectNode(
+            SelectNode(A, Comparison("<", Field("A.v"), Literal(7))),
+            [(Field("A.k"), "k"), (Arithmetic("+", Field("A.v"), Literal(1)), "v1")],
+        ),
+        Comparison(">", Field("v1"), Literal(2)),
+    )
+
+
+def streams(n=40):
+    return {
+        "A": timestamped_stream(
+            [((t % 5, t % 9), t) for t in range(0, n, 2)], name="A"
+        ),
+        "B": timestamped_stream([((t % 5,), t) for t in range(1, n, 3)], name="B"),
+    }
+
+
+# --------------------------------------------------------------------- #
+# Kernel compiler
+# --------------------------------------------------------------------- #
+
+
+class TestKernelCompiler:
+    def test_generated_kernel_filters_and_projects(self):
+        schema = ("k", "v")
+        steps = (
+            select_step(Comparison("<", Field("v"), Literal(5)), schema),
+            project_step([(Arithmetic("*", Field("v"), Literal(10)), "w")], schema),
+        )
+        kernel = compile_kernel(steps)
+        elements = [
+            element((0, 3), 1, 4),
+            element((1, 7), 2, 5),
+            element((2, 4), 3, 6),
+        ]
+        out, counts = kernel.fn(elements)
+        assert [e.payload for e in out] == [(30,), (40,)]
+        # Intervals and flags survive the projection untouched.
+        assert [(e.start, e.end) for e in out] == [(1, 4), (3, 6)]
+        # counts[i] = elements entering stage i: 3 filtered, 2 projected.
+        assert counts == (3, 2)
+
+    def test_boolean_connectives_and_negation(self):
+        schema = ("a",)
+        predicate = Or(
+            Comparison("=", Field("a"), Literal(0)),
+            Not(Comparison("<=", Field("a"), Literal(2))),
+        )
+        kernel = compile_kernel((select_step(predicate, schema),))
+        out, _ = kernel.fn([element((v,), v, v + 1) for v in range(5)])
+        assert [e.payload[0] for e in out] == [0, 3, 4]
+
+    def test_cache_hit_on_structurally_equal_chain(self):
+        clear_kernel_cache()
+        schema = ("k", "v")
+        make = lambda: (  # noqa: E731 - deliberately two distinct trees
+            select_step(Comparison(">", Field("k"), Literal(1)), schema),
+        )
+        first = compile_kernel(make())
+        second = compile_kernel(make())
+        assert first is second
+        assert kernel_cache_stats() == {"hits": 1, "misses": 1, "compiled": 1}
+
+    def test_different_schema_is_a_different_kernel(self):
+        clear_kernel_cache()
+        predicate = Comparison(">", Field("v"), Literal(1))
+        compile_kernel((select_step(predicate, ("v",)),))
+        compile_kernel((select_step(predicate, ("k", "v")),))
+        assert kernel_cache_stats()["compiled"] == 2
+
+    def test_schema_mismatch_rejected(self):
+        steps = (
+            project_step([(Field("k"), "k")], ("k", "v")),
+            select_step(Comparison(">", Field("v"), Literal(0)), ("k", "v")),
+        )
+        with pytest.raises(ValueError, match="schema mismatch"):
+            compile_kernel(steps)
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ValueError):
+            compile_kernel(())
+
+    def test_bare_callable_rejected(self):
+        with pytest.raises(TypeError, match="Expression trees"):
+            FusedStep(
+                kind="select",
+                exprs=(lambda row: True,),
+                input_schema=("a",),
+                output_schema=("a",),
+            )
+
+    def test_unknown_expression_type_is_hoisted(self):
+        class Stranger(Field):
+            """An Expression subclass the code generator does not know."""
+
+            def compile(self, schema):
+                index = schema.index(self.name)
+                return lambda row: row[index] * 100
+
+        kernel = compile_kernel(
+            (project_step([(Stranger("v"), "w")], ("k", "v")),)
+        )
+        out, _ = kernel.fn([element((1, 2), 0, 3)])
+        assert out[0].payload == (200,)
+
+
+# --------------------------------------------------------------------- #
+# The fusion pass
+# --------------------------------------------------------------------- #
+
+
+class TestFuseBox:
+    def test_chain_collapses_to_one_operator(self):
+        box = PhysicalBuilder().build(chain_plan())
+        assert len(box.operators) == 1
+        fused = box.operators[0]
+        assert isinstance(fused, FusedStateless)
+        assert box.root is fused
+        assert len(fused.members) == 3
+        assert box.taps["A"] == [(fused, 0)]
+
+    def test_fuse_false_is_the_unfused_oracle(self):
+        box = PhysicalBuilder(fuse=False).build(chain_plan())
+        assert len(box.operators) == 3
+        assert fused_operators(box) == []
+
+    def test_single_stateless_operator_stays_unfused(self):
+        box = PhysicalBuilder().build(
+            SelectNode(A, Comparison("<", Field("A.v"), Literal(5)))
+        )
+        assert fused_operators(box) == []
+
+    def test_join_is_a_fusion_boundary(self):
+        plan = SelectNode(
+            ProjectNode(
+                JoinNode(A, B, Comparison("=", Field("A.k"), Field("B.k"))),
+                [(Field("A.v"), "v"), (Field("B.k"), "bk")],
+            ),
+            Comparison(">", Field("v"), Literal(1)),
+        )
+        box = PhysicalBuilder().build(plan)
+        kinds = {type(op) for op in box.operators}
+        assert kinds == {FusedStateless, HashJoin}
+        (fused,) = fused_operators(box)
+        assert box.root is fused
+        join = next(op for op in box.operators if isinstance(op, HashJoin))
+        assert join.subscribers == [(fused, 0)]
+
+    def test_chains_feeding_union_ports_fuse_per_branch(self):
+        plan = UnionNode(
+            ProjectNode(
+                SelectNode(A, Comparison(">", Field("A.v"), Literal(2))),
+                [(Field("A.k"), "k")],
+            ),
+            ProjectNode(
+                SelectNode(B, Comparison("<", Field("B.k"), Literal(3))),
+                [(Field("B.k"), "k")],
+            ),
+        )
+        box = PhysicalBuilder().build(plan)
+        fused = fused_operators(box)
+        assert len(fused) == 2
+        union = box.root
+        assert isinstance(union, Union)
+        ports = sorted(port for op in fused for _, port in op.subscribers)
+        assert ports == [0, 1]
+
+    def test_fused_and_unfused_byte_identical_with_meter(self):
+        fused_box = PhysicalBuilder(select_cost=3).build(chain_plan())
+        unfused_box = PhysicalBuilder(select_cost=3, fuse=False).build(chain_plan())
+        out_f, _ = run_query(streams(), WINDOWS, fused_box)
+        out_u, _ = run_query(streams(), WINDOWS, unfused_box)
+        key = lambda out: [(e.payload, e.start, e.end, e.flag) for e in out]  # noqa: E731
+        assert key(out_f) == key(out_u)
+
+    def test_meter_charges_aggregate_exactly(self):
+        fused_box = PhysicalBuilder(select_cost=3).build(chain_plan())
+        unfused_box = PhysicalBuilder(select_cost=3, fuse=False).build(chain_plan())
+        meters = []
+        for box in (fused_box, unfused_box):
+            _, executor = run_query(streams(), WINDOWS, box)
+            meters.append((executor.meter.total, dict(executor.meter.by_category)))
+        assert meters[0] == meters[1]
+        assert meters[0][1]["select"] > 0
+
+    def test_verifier_classifies_fused_from_members(self):
+        box = PhysicalBuilder().build(chain_plan())
+        classification, diag = classify_operator(box.operators[0])
+        assert diag is None
+        assert classification.kind == "stateless"
+        assert classification.start_preserving
+        assert not classification.stateful
+        verdict = verify_box(box)
+        assert verdict.ok
+        assert verdict.profile == "join-only"
+
+    def test_verifier_flags_unknown_member_profile(self):
+        fused = FusedStateless(
+            steps=(select_step(Comparison(">", Field("v"), Literal(0)), ("v",)),),
+            member_profiles=("mystery",),
+        )
+        classification, diag = classify_operator(fused)
+        assert diag is not None and diag.code == "CLS001"
+        assert classification.kind == "general"
+
+    def test_dot_renders_fused_cluster(self):
+        box = PhysicalBuilder().build(chain_plan())
+        dot = box_to_dot(box)
+        assert "subgraph cluster_op0" in dot
+        assert "style=dashed" in dot
+        # All three member stages appear inside the cluster.
+        for member in box.operators[0].members:
+            assert member.split("[")[0] in dot
+
+
+class TestFusedBatchPath:
+    def test_empty_survivor_run_still_advances_watermark(self):
+        from repro.engine import QueryExecutor
+        from repro.streams import CollectorSink
+
+        plan = SelectNode(
+            ProjectNode(A, [(Field("A.v"), "v"), (Field("A.k"), "k")]),
+            Comparison(">", Field("v"), Literal(100)),  # everything filtered
+        )
+        box = PhysicalBuilder().build(plan)
+        # The project feeds the select inside one kernel; put a distinct
+        # chain: project -> select fuses into one operator.
+        assert fused_operators(box)
+        sink = CollectorSink()
+        executor = QueryExecutor(streams(), WINDOWS, box, batch_size=8)
+        executor.add_sink(sink)
+        executor.run()
+        assert sink.elements == []
+
+    def test_migration_profile_not_declared(self):
+        # FusedStateless relies on the explicit verifier branch, not on the
+        # generic migration_profile escape hatch.
+        box = PhysicalBuilder().build(chain_plan())
+        assert getattr(box.operators[0], "migration_profile", None) is None

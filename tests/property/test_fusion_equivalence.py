@@ -1,0 +1,226 @@
+"""Byte-identity of fused and unfused plan execution.
+
+Operator fusion claims to be a pure dispatch rewrite: a chain of
+stateless operators collapsed into one compiled kernel must produce the
+*identical* output stream — same elements, same delivery order, same
+flags — and the identical cost-meter totals per category (the kernel
+charges each stage ``n * cost`` from its per-stage input counts, exactly
+what the unfused element loop accumulates).  These properties drive
+hypothesis-generated workloads through plan shapes covering every fusion
+boundary (pure chains, chains over a join, per-branch chains feeding a
+union's ports) under all schedulers and batch sizes — ``fuse=False``
+builds of the same logical plan are the reference oracle.
+
+A second property migrates a *running* unfused query onto a fused box
+mid-stream via GenMig: the paper's black-box migration cannot tell a
+fused box from an unfused one, so the output must again be
+byte-identical with an unfused-to-unfused migration of the same plan.
+
+The whole suite runs under the PR 4 stream-invariant sanitizer (see
+``conftest.py``), so any fused-path violation of ordering, watermark or
+emission invariants fails loudly rather than by diff.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import GenMig
+from repro.engine import GlobalOrderScheduler, QueryExecutor, RoundRobinScheduler
+from repro.plans import (
+    Arithmetic,
+    Comparison,
+    Field,
+    JoinNode,
+    Literal,
+    Not,
+    Or,
+    PhysicalBuilder,
+    ProjectNode,
+    SelectNode,
+    Source,
+    UnionNode,
+    fused_operators,
+)
+from repro.streams import CollectorSink, timestamped_stream
+
+WINDOWS = {"A": 12, "B": 12}
+
+A = Source("A", ["k", "v"])
+B = Source("B", ["k"])
+
+
+def chain_plan():
+    """select → project → select over one source: one fused operator."""
+    return SelectNode(
+        ProjectNode(
+            SelectNode(A, Comparison("<", Field("A.v"), Literal(7))),
+            [(Field("A.k"), "k"), (Arithmetic("+", Field("A.v"), Literal(1)), "v1")],
+        ),
+        Comparison(">", Field("v1"), Literal(1)),
+    )
+
+
+def deep_chain_plan():
+    """Five stages exercising Or/Not/arithmetic codegen."""
+    s1 = SelectNode(
+        A,
+        Or(
+            Comparison("=", Field("A.k"), Literal(0)),
+            Comparison(">", Field("A.v"), Literal(2)),
+        ),
+    )
+    p1 = ProjectNode(
+        s1, [(Arithmetic("*", Field("A.v"), Literal(2)), "w"), (Field("A.k"), "k")]
+    )
+    s2 = SelectNode(p1, Not(Comparison("=", Field("w"), Literal(4))))
+    p2 = ProjectNode(s2, [(Arithmetic("%", Field("w"), Literal(5)), "m")])
+    return SelectNode(p2, Comparison("<=", Field("m"), Literal(3)))
+
+
+def join_chain_plan():
+    """A chain above a join: the join is a fusion boundary."""
+    join = JoinNode(A, B, Comparison("=", Field("A.k"), Field("B.k")))
+    return SelectNode(
+        ProjectNode(join, [(Field("A.v"), "v"), (Field("B.k"), "bk")]),
+        Comparison(">", Field("v"), Literal(1)),
+    )
+
+
+def union_chains_plan():
+    """Per-branch chains feeding the union's two ports."""
+    left = ProjectNode(
+        SelectNode(A, Comparison(">", Field("A.v"), Literal(2))),
+        [(Field("A.k"), "k")],
+    )
+    right = ProjectNode(
+        SelectNode(B, Comparison("<", Field("B.k"), Literal(3))),
+        [(Field("B.k"), "k")],
+    )
+    return UnionNode(left, right)
+
+
+PLANS = {
+    "chain": chain_plan,
+    "deep-chain": deep_chain_plan,
+    "join-chain": join_chain_plan,
+    "union-chains": union_chains_plan,
+}
+
+SCHEDULERS = {
+    "global": GlobalOrderScheduler,
+    "round-robin-2": lambda: RoundRobinScheduler(batch=2),
+    "round-robin-4": lambda: RoundRobinScheduler(batch=4),
+}
+
+#: Per source: (key, value, time delta); delta 0 yields equal-timestamp
+#: runs, the uniform-start currency of the batch fast path.
+raw_stream = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=3),
+        st.integers(min_value=0, max_value=8),
+        st.integers(min_value=0, max_value=2),
+    ),
+    min_size=0,
+    max_size=30,
+)
+
+
+def make_streams(raw_a, raw_b):
+    t, rows_a = 0, []
+    for key, value, delta in raw_a:
+        t += delta
+        rows_a.append(((key, value), t))
+    t, rows_b = 0, []
+    for key, _, delta in raw_b:
+        t += delta
+        rows_b.append(((key,), t))
+    return {
+        "A": timestamped_stream(rows_a, name="A"),
+        "B": timestamped_stream(rows_b, name="B"),
+    }
+
+
+def run_once(
+    raw_a,
+    raw_b,
+    plan,
+    scheduler,
+    batch_size,
+    fuse,
+    migrate_at=None,
+    fuse_new=False,
+):
+    plan_tree = PLANS[plan]()
+    box = PhysicalBuilder(fuse=fuse).build(plan_tree)
+    assert bool(fused_operators(box)) == fuse
+    sink = CollectorSink()
+    executor = QueryExecutor(
+        make_streams(raw_a, raw_b),
+        WINDOWS,
+        box,
+        scheduler=SCHEDULERS[scheduler](),
+        batch_size=batch_size,
+    )
+    executor.add_sink(sink)
+    if migrate_at is not None:
+        new_box = PhysicalBuilder(fuse=fuse_new).build(plan_tree)
+        executor.schedule_migration(migrate_at, new_box, GenMig())
+    executor.run()
+    output = [(e.payload, e.start, e.end, e.flag) for e in sink.elements]
+    return output, executor.meter.total, dict(executor.meter.by_category)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    plan=st.sampled_from(sorted(PLANS)),
+    scheduler=st.sampled_from(sorted(SCHEDULERS)),
+    batch_size=st.sampled_from([1, 2, 3, 64]),
+    raw_a=raw_stream,
+    raw_b=raw_stream,
+)
+def test_fused_matches_unfused(plan, scheduler, batch_size, raw_a, raw_b):
+    reference = run_once(raw_a, raw_b, plan, scheduler, batch_size, fuse=False)
+    fused = run_once(raw_a, raw_b, plan, scheduler, batch_size, fuse=True)
+    assert fused == reference
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    plan=st.sampled_from(sorted(PLANS)),
+    scheduler=st.sampled_from(sorted(SCHEDULERS)),
+    batch_size=st.sampled_from([1, 64]),
+    migrate_at=st.integers(min_value=0, max_value=40),
+    raw_a=raw_stream,
+    raw_b=raw_stream,
+)
+def test_migration_onto_fused_box_matches_unfused(
+    plan, scheduler, batch_size, migrate_at, raw_a, raw_b
+):
+    """GenMig from an unfused old box onto a *fused* new box must be
+    indistinguishable from migrating onto the unfused build of the same
+    plan — fusion is just another snapshot-equivalent box."""
+    reference = run_once(
+        raw_a, raw_b, plan, scheduler, batch_size,
+        fuse=False, migrate_at=migrate_at, fuse_new=False,
+    )
+    fused = run_once(
+        raw_a, raw_b, plan, scheduler, batch_size,
+        fuse=False, migrate_at=migrate_at, fuse_new=True,
+    )
+    assert fused == reference
+
+
+def test_fused_plan_survives_migration_both_directions():
+    """Old fused → new fused round trip: steady state before, during and
+    after the migration stays byte-identical to the all-unfused run."""
+    raw = [(i % 4, i % 7, i % 2) for i in range(50)]
+
+    def run(fuse_old, fuse_new):
+        return run_once(
+            raw, raw, "chain", "global", batch_size=8,
+            fuse=fuse_old, migrate_at=12, fuse_new=fuse_new,
+        )
+
+    reference = run(False, False)
+    assert run(True, True) == reference
+    assert run(True, False) == reference
