@@ -30,6 +30,15 @@ their meter totals — fusion must charge exactly what the unfused chain
 charges — and the fused run records the kernel compile-cache counters
 (``repro.plans.kernels.kernel_cache_stats``).
 
+A third pair measures *columnar state*: the same 4-way workload over a
+hash-join tree, built once element-wise (``columnar=False``, the
+byte-identity oracle) and once with struct-of-arrays state and compiled
+probe kernels.  Outputs and meter totals of both modes are cross-checked
+in the same run; the ``columnar`` section records the same-run speedup.
+Every scenario additionally reports p50/p95/p99 per-element ingestion
+latency over its timed window — for ``genmig_inflight``, that is the
+per-element latency *during* the migration's parallel phase.
+
 Results are written to ``BENCH_hotpath.json``.  Pass ``--baseline
 path/to/old.json`` to embed a previously captured run (e.g. from the
 commit before a performance change) and the resulting speedup factors.
@@ -65,6 +74,7 @@ from repro.plans import (  # noqa: E402
     Arithmetic,
     Comparison,
     Field,
+    JoinNode,
     Literal,
     Not,
     Or,
@@ -75,7 +85,7 @@ from repro.plans import (  # noqa: E402
     clear_kernel_cache,
     kernel_cache_stats,
 )
-from repro.streams import PhysicalStream  # noqa: E402
+from repro.streams import CollectorSink, PhysicalStream  # noqa: E402
 from repro.temporal import Batch, element  # noqa: E402
 
 STREAMS = ("A", "B", "C", "D")
@@ -211,6 +221,7 @@ def run_scenario(
     timed_seconds = 0.0
     started: Optional[float] = None
     state_at_start = 0
+    latencies: List[float] = []
     for (name, item), size in zip(feed, sizes):
         t = item.start if size == 1 else item.first_start
         if started is None and t >= config.measure_start:
@@ -218,12 +229,16 @@ def run_scenario(
             started = time.perf_counter()
         if started is not None and timed_seconds == 0.0 and t >= config.measure_end:
             timed_seconds = time.perf_counter() - started
+        before = time.perf_counter()
         if size == 1:
             executor.push(name, item)
         else:
             executor.push_batch(name, item)
         if started is not None and timed_seconds == 0.0:
             timed_elements += size
+            # Per-element ingestion latency inside the timed window: a
+            # batch push is amortised over its run.
+            latencies.append((time.perf_counter() - before) / size)
     if started is not None and timed_seconds == 0.0:
         timed_seconds = time.perf_counter() - started
     executor.finish()
@@ -235,8 +250,15 @@ def run_scenario(
         "elements_per_sec": round(timed_elements / timed_seconds, 1),
         "state_values_at_measure_start": state_at_start,
         "results_delivered": executor.gate.delivered,
+        "latency_us": _latency_percentiles(latencies),
     }
     if migrate:
+        if not executor.migration_log:
+            raise RuntimeError(
+                "genmig_inflight scenario never migrated: the GenMig "
+                "trigger at t={} did not fire — the scenario would "
+                "silently degenerate to the steady one".format(config.migrate_at)
+            )
         report = executor.migration_log[0]
         result["migration"] = {
             "strategy": report.strategy,
@@ -244,11 +266,34 @@ def run_scenario(
             "started_at": report.started_at,
             "completed_at": report.completed_at,
         }
-        # The timed window must lie inside the parallel phase, otherwise the
-        # scenario silently degenerates to the steady one.
-        assert report.started_at <= config.measure_start, "migration started late"
-        assert report.completed_at >= config.measure_end, "migration ended early"
+        # The timed window must lie inside the parallel phase, otherwise
+        # the scenario silently degenerates to the steady one.  Raise (not
+        # assert): the check must survive ``python -O``.
+        if report.started_at > config.measure_start:
+            raise RuntimeError(
+                f"migration started at {report.started_at}, after the timed "
+                f"window opened at {config.measure_start}: the measurement "
+                "would mix steady and in-flight processing"
+            )
+        if report.completed_at < config.measure_end:
+            raise RuntimeError(
+                f"migration completed at {report.completed_at}, before the "
+                f"timed window closed at {config.measure_end}: the "
+                "measurement would mix in-flight and steady processing"
+            )
     return result
+
+
+def _latency_percentiles(samples: List[float]) -> Dict[str, float]:
+    """p50/p95/p99 of per-element ingestion latency, in microseconds."""
+    if not samples:
+        return {}
+    ordered = sorted(samples)
+    last = len(ordered) - 1
+    return {
+        f"p{q}": round(ordered[min(last, (len(ordered) * q) // 100)] * 1e6, 2)
+        for q in (50, 95, 99)
+    }
 
 
 @dataclass(frozen=True)
@@ -339,6 +384,71 @@ def run_fusion_scenario(
         "results_delivered": executor.gate.delivered,
         "meter_total": executor.meter.total,
     }
+
+
+def hash_join_plan() -> JoinNode:
+    """The 4-way *hash*-join tree of the columnar scenarios.
+
+    Same shape and workload as the nested-loops scenarios above, but the
+    equi-conditions compile to symmetric hash joins, which is where the
+    columnar state and the compiled probe kernels live.
+    """
+    a = Source("A", ["a"])
+    b = Source("B", ["b"])
+    c = Source("C", ["c"])
+    d = Source("D", ["d"])
+    ab = JoinNode(a, b, Comparison("=", Field("A.a"), Field("B.b")))
+    abc = JoinNode(ab, c, Comparison("=", Field("A.a"), Field("C.c")))
+    return JoinNode(abc, d, Comparison("=", Field("A.a"), Field("D.d")))
+
+
+def run_columnar_scenario(
+    config: HotpathConfig, columnar: bool, batch_size: int
+) -> Tuple[Dict[str, object], List[Tuple[object, object, object, object]], int]:
+    """The 4-way hash-join workload, columnar or element-wise.
+
+    Returns ``(result, outputs, meter_total)``: the caller cross-checks
+    that both modes of the same run deliver byte-identical outputs and
+    meter totals — the columnar path's equivalence oracle.
+    """
+    box = PhysicalBuilder(columnar=columnar).build(hash_join_plan())
+    sources = {name: PhysicalStream([], name) for name in STREAMS}
+    windows = {name: config.window for name in STREAMS}
+    executor = QueryExecutor(sources, windows, box, meter=CostMeter())
+    sink = CollectorSink()
+    executor.add_sink(sink)
+
+    feed = make_batches(config, batch_size)
+    timed_elements = 0
+    timed_seconds = 0.0
+    started: Optional[float] = None
+    state_at_start = 0
+    for name, batch in feed:
+        t = batch.first_start
+        if started is None and t >= config.measure_start:
+            state_at_start = executor.state_value_count()
+            started = time.perf_counter()
+        if started is not None and timed_seconds == 0.0 and t >= config.measure_end:
+            timed_seconds = time.perf_counter() - started
+        executor.push_batch(name, batch)
+        if started is not None and timed_seconds == 0.0:
+            timed_elements += len(batch)
+    if started is not None and timed_seconds == 0.0:
+        timed_seconds = time.perf_counter() - started
+    executor.finish()
+
+    outputs = [(e.payload, e.start, e.end, e.flag) for e in sink.elements]
+    result: Dict[str, object] = {
+        "batch_size": batch_size,
+        "columnar": columnar,
+        "elements_timed": timed_elements,
+        "seconds": round(timed_seconds, 6),
+        "elements_per_sec": round(timed_elements / timed_seconds, 1),
+        "state_values_at_measure_start": state_at_start,
+        "results_delivered": executor.gate.delivered,
+        "meter_total": executor.meter.total,
+    }
+    return result, outputs, executor.meter.total
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -442,6 +552,44 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"kernel cache: {report['fusion']['kernel_cache']}"
     )
 
+    # Columnar vs element-wise hash joins: same run, same workload, the
+    # ratio is immune to runner-to-runner absolute noise (like fusion).
+    columnar_results: Dict[str, Dict[str, object]] = {}
+    columnar_outputs: Dict[str, List] = {}
+    columnar_meters: Dict[str, int] = {}
+    for key, columnar in (("element_join", False), ("columnar_join", True)):
+        result, outputs, meter_total = run_columnar_scenario(
+            config, columnar, config.rate
+        )
+        columnar_results[key] = result
+        columnar_outputs[key] = outputs
+        columnar_meters[key] = meter_total
+        report["scenarios"][key] = result
+        print(
+            f"{key:16s} batch={config.rate:<3d} "
+            f"{result['elements_per_sec']:>12.1f} elements/sec "
+            f"({result['elements_timed']} elements in {result['seconds']:.3f} s, "
+            f"{result['state_values_at_measure_start']} state values)"
+        )
+    columnar_speedup = (
+        columnar_results["columnar_join"]["elements_per_sec"]
+        / columnar_results["element_join"]["elements_per_sec"]
+    )
+    report["columnar"] = {
+        "speedup": round(columnar_speedup, 2),
+        "meter_totals_match": (
+            columnar_meters["columnar_join"] == columnar_meters["element_join"]
+        ),
+        "outputs_match": (
+            columnar_outputs["columnar_join"] == columnar_outputs["element_join"]
+        ),
+    }
+    print(
+        f"{'columnar':16s} speedup {columnar_speedup:.2f}x, "
+        f"meter totals match: {report['columnar']['meter_totals_match']}, "
+        f"outputs match: {report['columnar']['outputs_match']}"
+    )
+
     if baseline is not None:
         comparison = {}
         for key, result in report["scenarios"].items():
@@ -469,10 +617,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         # which is exactly what a shared CI runner can check reliably.
         failed = False
         for key, result in report["scenarios"].items():
-            if key in ("fused_chain", "unfused_chain"):
-                # Gated below on the fused/unfused speedup — a same-run
-                # ratio, so it survives runner-to-runner absolute noise
-                # that the short stateless scenarios are sensitive to.
+            if key in ("fused_chain", "unfused_chain", "columnar_join", "element_join"):
+                # Gated below on the fused/unfused and columnar/element
+                # speedups — same-run ratios, so they survive
+                # runner-to-runner absolute noise that the paired
+                # scenarios are sensitive to.
                 continue
             committed = regress.get("scenarios", {}).get(key)
             if not committed:
@@ -496,6 +645,35 @@ def main(argv: Optional[List[str]] = None) -> int:
             if not report["fusion"]["meter_totals_match"]:
                 print("fusion            fused meter total diverged [REGRESSION]")
                 failed = True
+        committed_columnar = regress.get("columnar")
+        if committed_columnar:
+            if report["mode"] == regress.get("mode"):
+                ratio = report["columnar"]["speedup"] / committed_columnar["speedup"]
+                status = "ok" if ratio >= args.min_ratio else "REGRESSION"
+                print(
+                    f"{'columnar speedup':16s} {ratio:.2f}x of committed "
+                    f"({committed_columnar['speedup']}x columnar/element) [{status}]"
+                )
+                failed = failed or ratio < args.min_ratio
+            else:
+                # Unlike the fusion ratio, the columnar win grows with
+                # join-state size, so a smoke run cannot be held to a
+                # full capture's ratio; cross-mode the gate only demands
+                # that the columnar path still beats the element path.
+                speedup = report["columnar"]["speedup"]
+                status = "ok" if speedup > 1.0 else "REGRESSION"
+                print(
+                    f"{'columnar speedup':16s} {speedup:.2f}x this run "
+                    f"(cross-mode vs {committed_columnar['speedup']}x "
+                    f"committed {regress.get('mode', '?')}) [{status}]"
+                )
+                failed = failed or speedup <= 1.0
+        if not report["columnar"]["meter_totals_match"]:
+            print("columnar          meter total diverged from element path [REGRESSION]")
+            failed = True
+        if not report["columnar"]["outputs_match"]:
+            print("columnar          outputs diverged from element path [REGRESSION]")
+            failed = True
         if failed:
             print(f"throughput fell below {args.min_ratio:.2f}x of {args.regress}")
             return 1

@@ -35,6 +35,14 @@ dependency — ``ruff``/``mypy`` run additionally in CI):
     stateful closure could silently break the fused/unfused
     byte-identity the engine guarantees.
 
+``RLB005``
+    Code outside ``temporal/`` must not reach into a batch's column
+    internals (``_starts``/``_ends``/``_rows``/``_flags``/``_cached``) —
+    only the ``ColumnarBatch`` read API (``starts``/``ends``/``rows``/
+    ``flags``/``column``/``runs``) is stable.  Direct pokes bypass the
+    lazy-materialisation cache and would silently desynchronise the
+    columns from the boxed-element view.
+
 Run locally or in CI::
 
     PYTHONPATH=src python -m repro.analysis.lint [paths...]
@@ -77,6 +85,14 @@ WALL_CLOCK_SCOPE = ("engine", "operators")
 KERNEL_APIS = frozenset(
     {"FusedStep", "FusedStateless", "compile_kernel", "select_step", "project_step"}
 )
+
+#: Column-storage slots of ``ColumnarBatch`` that are private to the
+#: temporal layer (RLB005); everything else goes through the read API.
+COLUMN_INTERNALS = frozenset({"_starts", "_ends", "_rows", "_flags", "_cached"})
+
+#: Directory (path component) exempt from RLB005: the layer that owns
+#: the columnar layout.
+COLUMN_SCOPE_EXEMPT = ("temporal",)
 
 
 @dataclass(frozen=True)
@@ -248,6 +264,32 @@ def _kernel_input_findings(tree: ast.AST, path: str) -> List[LintFinding]:
     return findings
 
 
+def _column_internal_findings(tree: ast.AST, path: str) -> List[LintFinding]:
+    """RLB005: no column-internal attribute access outside ``temporal/``.
+
+    Any ``x._starts``-style read or write is flagged; the rule is
+    attribute-name based (like the rest of this linter) because the
+    columnar slots are deliberately named to collide with nothing else
+    in the codebase.
+    """
+    findings: List[LintFinding] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Attribute) and node.attr in COLUMN_INTERNALS:
+            findings.append(
+                LintFinding(
+                    path,
+                    node.lineno,
+                    "RLB005",
+                    f"direct access to column internal {node.attr!r} outside "
+                    "temporal/: use the ColumnarBatch read API (starts/ends/"
+                    "rows/flags/column/runs) — poking the slots bypasses the "
+                    "lazy-materialisation cache and can desynchronise the "
+                    "columns from the boxed-element view",
+                )
+            )
+    return findings
+
+
 # --------------------------------------------------------------------- #
 # The linter
 # --------------------------------------------------------------------- #
@@ -298,6 +340,8 @@ class Linter:
             if any(scope in parts for scope in WALL_CLOCK_SCOPE):
                 findings.extend(_wall_clock_findings(tree, path))
             findings.extend(_kernel_input_findings(tree, path))
+            if not any(scope in parts for scope in COLUMN_SCOPE_EXEMPT):
+                findings.extend(_column_internal_findings(tree, path))
             for cls in classes:
                 findings.extend(self._class_findings(path, cls))
         return findings

@@ -169,6 +169,30 @@ def classify_logical(node: LogicalPlan) -> OperatorClassification:
     return OperatorClassification.of_kind(label, "general")
 
 
+def _columnar_state_diagnostic(op: object, label: str) -> Optional[Diagnostic]:
+    """CLS003: columnar state must stay drainable and seedable.
+
+    An operator advertising ``columnar_state`` keeps its state in
+    struct-of-arrays form; GenMig's drain/seed protocol reaches it only
+    through ``state_of_port`` / ``seed_state``, which must materialise
+    the columns into elements and back.  Missing either hook means a
+    mid-flight migration cannot move the operator's state.
+    """
+    if not getattr(op, "columnar_state", False):
+        return None
+    if callable(getattr(op, "state_of_port", None)) and callable(
+        getattr(op, "seed_state", None)
+    ):
+        return None
+    return Diagnostic(
+        WARNING,
+        "CLS003",
+        "operator holds columnar state but lacks state_of_port/seed_state: "
+        "GenMig cannot drain or seed its struct-of-arrays state mid-flight",
+        operator=label,
+    )
+
+
 def classify_operator(op: object) -> Tuple[OperatorClassification, Optional[Diagnostic]]:
     """Classify one physical operator.
 
@@ -177,7 +201,9 @@ def classify_operator(op: object) -> Tuple[OperatorClassification, Optional[Diag
     user-defined operators; otherwise the built-in operator types are
     recognised structurally.  Unknown operators degrade to ``general``
     with a warning: that is always sound for GenMig provided the operator
-    is snapshot-reducible, which only its author can promise.
+    is snapshot-reducible, which only its author can promise.  Operators
+    advertising ``columnar_state`` (the columnar hash join) additionally
+    pass the CLS003 drainability check.
     """
     from ..operators.aggregate import Aggregate
     from ..operators.base import StatelessOperator
@@ -204,7 +230,10 @@ def classify_operator(op: object) -> Tuple[OperatorClassification, Optional[Diag
                     operator=label,
                 ),
             )
-        return OperatorClassification.of_kind(label, declared, reducible), None
+        return (
+            OperatorClassification.of_kind(label, declared, reducible),
+            _columnar_state_diagnostic(op, label),
+        )
     if isinstance(op, FusedStateless):
         # A fused chain is exactly as migratable as its weakest member:
         # derive the classification from the member profiles rather than

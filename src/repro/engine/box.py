@@ -96,12 +96,13 @@ class Router(Operator):
         if _operator_base.SANITIZER is not None:
             _operator_base.SANITIZER.on_batch(self, batch, 0)
         watermarks = self._watermarks
-        if batch.elements[0].start < watermarks[0]:
+        first = batch.first_start
+        if first < watermarks[0]:
             raise ValueError(
                 f"{self.name}: out-of-order element on port 0: "
-                f"{batch.elements[0].start} < watermark {watermarks[0]}"
+                f"{first} < watermark {watermarks[0]}"
             )
-        watermarks[0] = batch.elements[-1].start
+        watermarks[0] = batch.last_start
         self._emit_batch(batch)
         self._advance()
         if batch.watermark > watermarks[0]:

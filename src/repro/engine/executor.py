@@ -24,6 +24,7 @@ from ..operators.base import NULL_METER, CostMeter, Operator
 from ..operators.window import TimeWindow
 from ..streams.stream import PhysicalStream
 from ..temporal.batch import Batch
+from ..temporal.columnar import ColumnarBatch
 from ..temporal.time import MAX_TIME, MIN_TIME, Time
 from .box import Box, OutputGate, Router
 from .metrics import MetricsRecorder
@@ -164,6 +165,12 @@ class QueryExecutor:
         box.set_meter(self.meter)
         self._wire_statistics(box)
         self.box = box
+        # Feed columnar runs whenever the installed plan contains a
+        # columnar operator: the struct-of-arrays layout is built once at
+        # ingestion and flows through windows and routers untouched.
+        self._columnar_feed = any(
+            getattr(op, "_columnar", False) for op in box.operators
+        )
 
     def _wire_statistics(self, box: Box) -> None:
         """Point operators' selectivity probes at the statistics catalog.
@@ -205,6 +212,8 @@ class QueryExecutor:
         if self.strategy is not None:
             raise MigrationError("a migration is already in progress")
         new_box.set_meter(self.meter)
+        if any(getattr(op, "_columnar", False) for op in new_box.operators):
+            self._columnar_feed = True
         self.strategy = strategy
         strategy.begin(self, new_box)
         self._poll_strategy()
@@ -382,19 +391,23 @@ class QueryExecutor:
             observe = self.statistics.rate_of(name).observe
             for element in group:
                 observe(element.start)
+            if self._columnar_feed:
+                make_batch = ColumnarBatch.from_elements
+            else:
+                make_batch = Batch._trusted
             if self.global_heartbeats:
                 for other_op in self._window_ops.values():
                     other_op.process_heartbeat(start, 0)
-                window_op.process_batch(Batch._trusted(group, start, name, True), 0)
+                window_op.process_batch(make_batch(group, start, name, True), 0)
             elif remaining is not None:
                 window_op.process(group[0], 0)
                 self._promise_exhausted(name, remaining)
                 if len(group) > 1:
                     window_op.process_batch(
-                        Batch._trusted(group[1:], start, name, True), 0
+                        make_batch(group[1:], start, name, True), 0
                     )
             else:
-                window_op.process_batch(Batch._trusted(group, start, name, True), 0)
+                window_op.process_batch(make_batch(group, start, name, True), 0)
             self._poll_strategy()
             i = j
 
@@ -443,14 +456,14 @@ class QueryExecutor:
             raise RuntimeError("executor already finished")
         if name not in self._window_ops:
             raise KeyError(f"unknown source {name!r}")
-        first = batch.elements[0].start
+        first = batch.first_start
         if self.global_heartbeats and first < self.clock:
             raise ValueError(
                 f"global-order executor received {name!r} element at "
                 f"{first} behind the clock {self.clock}"
             )
         self._ingest_batch(name, batch)
-        if batch.watermark > batch.elements[-1].start:
+        if batch.watermark > batch.last_start:
             self.advance(name, batch.watermark)
 
     def advance(self, name: str, t: Time) -> None:

@@ -64,6 +64,16 @@ class MetricsRecorder:
         #: Structured events (controller decisions, migration lifecycle)
         #: interleaved with the numeric series; see :meth:`record_event`.
         self.events: List[Dict[str, object]] = []
+        # Baseline of the never-reset lifetime kernel-cache counters, so
+        # to_dict() can report this query's own compile traffic even when
+        # clear_kernel_cache() resets the epoch counters mid-run.
+        from ..plans.kernels import kernel_cache_stats
+
+        stats = kernel_cache_stats()
+        self._kernel_baseline = {
+            key: stats[key]
+            for key in ("lifetime_hits", "lifetime_misses", "lifetime_compiled")
+        }
 
     def bucket_of(self, t: Time) -> int:
         """Map an application timestamp to its bucket index."""
@@ -131,15 +141,18 @@ class MetricsRecorder:
     def to_dict(self) -> dict:
         """A JSON-serialisable snapshot of all recorded series.
 
-        Includes the process-wide kernel compile-cache counters
-        (``kernel_cache``): fused plans compile their chains through
-        :func:`repro.plans.kernels.compile_kernel`, and a run whose
-        migrations keep re-compiling identical chains shows up here as a
-        low hit count.  The import is deferred — recording metrics must
-        not pull the plan layer in when no fused plan exists.
+        ``kernel_cache`` reports the kernel compile-cache traffic *of this
+        query*: hits/misses/compiled are deltas of the never-reset
+        lifetime counters against the recorder's construction-time
+        baseline, so a :func:`repro.plans.kernels.clear_kernel_cache`
+        between queries (or mid-run) cannot skew the readout.  The raw
+        process-epoch counters ride along under ``process_epoch`` for
+        whole-process diagnostics.
         """
         from ..plans.kernels import kernel_cache_stats
 
+        stats = kernel_cache_stats()
+        baseline = self._kernel_baseline
         return {
             "bucket_size": self.series.bucket_size,
             "output": self.output_rate(),
@@ -147,7 +160,17 @@ class MetricsRecorder:
             "cost": self.cumulative_cost(),
             "results": self.cumulative_results(),
             "events": list(self.events),
-            "kernel_cache": kernel_cache_stats(),
+            "kernel_cache": {
+                "hits": stats["lifetime_hits"] - baseline["lifetime_hits"],
+                "misses": stats["lifetime_misses"] - baseline["lifetime_misses"],
+                "compiled": stats["lifetime_compiled"]
+                - baseline["lifetime_compiled"],
+                "process_epoch": {
+                    "hits": stats["hits"],
+                    "misses": stats["misses"],
+                    "compiled": stats["compiled"],
+                },
+            },
         }
 
     def dump(self, path: str) -> None:

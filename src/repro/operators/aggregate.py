@@ -66,6 +66,26 @@ class Aggregate(StatefulOperator):
         self.group_key = group_key
         self._open = SweepArea()
         self._frontier: Time = MIN_TIME
+        self._fold_kernel = None
+
+    def enable_columnar(self, spec: Sequence[Tuple[str, Optional[int]]]) -> None:
+        """Switch the segment sweep to a compiled column fold.
+
+        ``spec`` names the aggregate functions positionally as
+        ``(function_name, payload_index)`` pairs and MUST agree with
+        ``self.functions`` — the physical builder guarantees this; the
+        fold kernel replays the same accumulation (count of live
+        elements, sums/extrema over one payload column each) in
+        insertion order, so values, charges and flags are byte-identical
+        to the element-path fold.  Grouped aggregation keeps the element
+        path: group formation needs the payload rows anyway.
+        """
+        if self.group_key is not None:
+            raise ValueError("columnar fold requires ungrouped aggregation")
+        from ..plans.kernels import compile_fold_kernel
+
+        self._fold_kernel = compile_fold_kernel(tuple(spec))
+        self.migration_profile = "general"
 
     def _on_element(self, element: StreamElement, port: int) -> None:
         self.meter.charge(1, "aggregate")
@@ -93,6 +113,9 @@ class Aggregate(StatefulOperator):
 
     def _finalise(self, lo: Time, hi: Time) -> None:
         """Emit aggregate results for every instant in ``[lo, hi)``."""
+        if self._fold_kernel is not None:
+            self._finalise_columnar(lo, hi)
+            return
         boundaries = {lo, hi}
         for e in self._open:
             if lo < e.start < hi:
@@ -125,6 +148,43 @@ class Aggregate(StatefulOperator):
                     values = tuple(fn(payloads) for fn in self.functions)
                     group_flag = merge_flags([e.flag for e in members])
                     results.append(StreamElement(key + values, segment, group_flag))
+        for merged in _merge_adjacent(results):
+            self._stage(merged)
+
+    def _finalise_columnar(self, lo: Time, hi: Time) -> None:
+        """The segment sweep over columns extracted from the open state.
+
+        One materialisation of the sweep area into parallel arrays, then
+        one compiled fold per constant segment — instead of a Python
+        filter + per-function reduction per segment.  Accumulation order
+        is the sweep area's insertion order, as in the element path.
+        """
+        starts: List[Time] = []
+        ends: List[Time] = []
+        rows: List[Payload] = []
+        flags: List[Optional[str]] = []
+        boundaries = {lo, hi}
+        for e in self._open:
+            s = e.interval.start
+            t = e.interval.end
+            starts.append(s)
+            ends.append(t)
+            rows.append(e.payload)
+            flags.append(e.flag)
+            if lo < s < hi:
+                boundaries.add(s)
+            if lo < t < hi:
+                boundaries.add(t)
+        ordered = sorted(boundaries)
+        fold = self._fold_kernel.fn
+        charge = self.meter.charge
+        results: List[StreamElement] = []
+        for a, b in zip(ordered, ordered[1:]):
+            n, values, flag = fold(a, starts, ends, rows, flags)
+            if not n:
+                continue
+            charge(n, "aggregate")
+            results.append(StreamElement(values, TimeInterval(a, b), flag))
         for merged in _merge_adjacent(results):
             self._stage(merged)
 

@@ -1,0 +1,342 @@
+"""Columnar per-key join state: the struct-of-arrays twin of
+:class:`~repro.operators.sweep.KeyedSweepArea`.
+
+One instance holds one hash-join side as five parallel append-only
+arrays — start, end, payload row, PT flag and bucket key per element —
+plus a ``buckets`` dict mapping key → list of live array indices in
+insertion order.  The compiled probe kernels
+(:func:`repro.plans.kernels.compile_probe_kernel`) read the arrays and
+``buckets`` directly; everything else (iteration, drains, seeding)
+materialises :class:`StreamElement`\\ s on demand.
+
+Observable behaviour is bit-compatible with ``KeyedSweepArea``:
+
+* buckets are created on first insert (dict position = first-touch
+  order) and deleted the moment they empty, so key iteration order — and
+  hence ``state_of_port`` / ``state_elements`` order — matches;
+* iteration yields bucket order then insertion order within the bucket;
+* ``expire`` removes exactly the elements whose expiry has been reached.
+
+The expiry sweep is where the layout pays off.  Window-extended input
+arrives with non-decreasing end timestamps, so in the common case the
+``ends`` array is sorted and a watermark purge is one ``bisect`` over
+the live suffix plus O(1) bucket pops — no per-element heap traffic at
+all (*sorted mode*).  The first out-of-order end, or any retention-rule
+override (the Parallel Track baseline's tuple-timestamp rule), switches
+the instance permanently to *heap mode*, a ``(expiry, index)`` heap with
+the same pop-until-watermark discipline as the sweep areas.  Dead array
+prefixes left behind by the sorted sweep are compacted away once they
+dominate the array.
+
+Why ``bucket[0]`` is always the dying index in sorted mode: inserts
+append strictly increasing indices to each bucket, and the sorted sweep
+retires indices in increasing order (the dead prefix grows left to
+right), so within any bucket the next index to die is always the
+smallest live one — its head.
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import bisect_right
+from typing import Any, Callable, Iterator, List, Optional
+
+from ..temporal.element import Payload, StreamElement
+from ..temporal.interval import TimeInterval
+from ..temporal.time import MIN_TIME, Time
+from . import sweep
+from .sweep import RetentionRule
+
+#: Compact the dead prefix once it is this long *and* over half the array.
+_COMPACT_THRESHOLD = 512
+
+
+class ColumnarJoinState:
+    """One hash-join side stored as parallel columns with keyed buckets.
+
+    The array attributes and ``buckets`` are the read surface of the
+    compiled probe kernels; mutation goes through :meth:`insert` /
+    :meth:`insert_run` / :meth:`expire` / :meth:`replace` only.
+    """
+
+    __slots__ = (
+        "starts",
+        "ends",
+        "rows",
+        "flags",
+        "keys",
+        "buckets",
+        "_heap",
+        "_sweep_pos",
+        "_sorted",
+        "_last_end",
+        "_live",
+        "_values",
+        "_flag_count",
+        "_retention",
+    )
+
+    def __init__(self, retention: RetentionRule = None) -> None:
+        self.starts: List[Time] = []
+        self.ends: List[Time] = []
+        self.rows: List[Payload] = []
+        self.flags: List[Optional[str]] = []
+        self.keys: List[Any] = []
+        self.buckets: dict = {}
+        self._heap: List[tuple] = []
+        self._sweep_pos = 0
+        self._sorted = retention is None
+        self._last_end: Time = MIN_TIME
+        self._live = 0
+        self._values = 0
+        self._flag_count = 0
+        self._retention = retention
+
+    # ------------------------------------------------------------------ #
+    # Expiry keys and modes
+    # ------------------------------------------------------------------ #
+
+    def _element_at(self, index: int) -> StreamElement:
+        return StreamElement(
+            self.rows[index],
+            TimeInterval(self.starts[index], self.ends[index]),
+            self.flags[index],
+        )
+
+    def _expiry_at(self, index: int) -> Time:
+        retention = self._retention
+        if retention is None:
+            return self.ends[index]
+        return retention(self._element_at(index))
+
+    def set_retention(self, retention: RetentionRule) -> None:
+        """Install a new retention rule and re-key the expiry index.
+
+        Any explicit rule invalidates the sorted-ends invariant, so the
+        instance drops to heap mode for the rest of its life — retention
+        overrides happen once per migration, never on the steady path.
+        """
+        self._retention = retention
+        self._enter_heap_mode()
+
+    def _enter_heap_mode(self) -> None:
+        self._sorted = False
+        heap = [
+            (self._expiry_at(index), index)
+            for bucket in self.buckets.values()
+            for index in bucket
+        ]
+        heapq.heapify(heap)
+        self._heap = heap
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+
+    def insert(
+        self,
+        key: Any,
+        start: Time,
+        end: Time,
+        row: Payload,
+        flag: Optional[str] = None,
+    ) -> None:
+        """Append one element under ``key`` (element-path entry point)."""
+        index = len(self.starts)
+        self.starts.append(start)
+        self.ends.append(end)
+        self.rows.append(row)
+        self.flags.append(flag)
+        self.keys.append(key)
+        bucket = self.buckets.get(key)
+        if bucket is None:
+            self.buckets[key] = [index]
+        else:
+            bucket.append(index)
+        self._live += 1
+        self._values += len(row)
+        if flag is not None:
+            self._flag_count += 1
+        if self._sorted:
+            if end < self._last_end:
+                self._enter_heap_mode()
+            else:
+                self._last_end = end
+        else:
+            heapq.heappush(self._heap, (self._expiry_at(index), index))
+
+    def insert_run(
+        self,
+        key_index: int,
+        starts: List[Time],
+        ends: List[Time],
+        rows: List[Payload],
+        lo: int,
+        hi: int,
+    ) -> None:
+        """Bulk-append an unflagged run slice (kernel-path build side).
+
+        Keys are taken positionally from each row; semantics per element
+        are exactly :meth:`insert` with ``flag=None``.
+        """
+        s_app = self.starts.append
+        e_app = self.ends.append
+        r_app = self.rows.append
+        f_app = self.flags.append
+        k_app = self.keys.append
+        buckets = self.buckets
+        get = buckets.get
+        index = len(self.starts)
+        last = self._last_end
+        in_sorted = self._sorted
+        broke_order = False
+        values = 0
+        for i in range(lo, hi):
+            row = rows[i]
+            end = ends[i]
+            key = row[key_index]
+            s_app(starts[i])
+            e_app(end)
+            r_app(row)
+            f_app(None)
+            k_app(key)
+            bucket = get(key)
+            if bucket is None:
+                buckets[key] = [index]
+            else:
+                bucket.append(index)
+            values += len(row)
+            if in_sorted:
+                if end < last:
+                    broke_order = True
+                else:
+                    last = end
+            else:
+                heapq.heappush(self._heap, (self._expiry_at(index), index))
+            index += 1
+        self._live += hi - lo
+        self._values += values
+        self._last_end = last
+        if broke_order:
+            self._enter_heap_mode()
+
+    def replace(
+        self, key_of: Callable[[Payload], Any], elements: List[StreamElement]
+    ) -> None:
+        """Rebuild the whole side from scratch (Moving States seeding)."""
+        self.starts = []
+        self.ends = []
+        self.rows = []
+        self.flags = []
+        self.keys = []
+        self.buckets = {}
+        self._heap = []
+        self._sweep_pos = 0
+        self._sorted = self._retention is None
+        self._last_end = MIN_TIME
+        self._live = 0
+        self._values = 0
+        self._flag_count = 0
+        for element in elements:
+            self.insert(
+                key_of(element.payload),
+                element.interval.start,
+                element.interval.end,
+                element.payload,
+                element.flag,
+            )
+
+    def expire(self, watermark: Time) -> None:
+        """Remove every element whose expiry has been reached.
+
+        Sorted mode: one bisect over the live suffix of the ``ends``
+        column, then O(1) bucket-head pops.  Heap mode: pop the
+        ``(expiry, index)`` heap until it clears the watermark.
+        """
+        if not self._sorted:
+            self._expire_heap(watermark)
+            return
+        pos = self._sweep_pos
+        cut = bisect_right(self.ends, watermark, pos)
+        if cut == pos:
+            return
+        buckets = self.buckets
+        keys = self.keys
+        rows = self.rows
+        flags = self.flags
+        for index in range(pos, cut):
+            key = keys[index]
+            bucket = buckets[key]
+            head = bucket.pop(0)
+            if sweep.DEBUG:
+                assert head == index, "columnar sorted sweep out of order"
+            if not bucket:
+                del buckets[key]
+            self._values -= len(rows[index])
+            if flags[index] is not None:
+                self._flag_count -= 1
+        self._live -= cut - pos
+        self._sweep_pos = cut
+        if cut > _COMPACT_THRESHOLD and cut * 2 > len(self.starts):
+            self._compact()
+
+    def _expire_heap(self, watermark: Time) -> None:
+        heap = self._heap
+        buckets = self.buckets
+        while heap and heap[0][0] <= watermark:
+            index = heapq.heappop(heap)[1]
+            key = self.keys[index]
+            bucket = buckets[key]
+            bucket.remove(index)
+            if not bucket:
+                del buckets[key]
+            self._values -= len(self.rows[index])
+            if self.flags[index] is not None:
+                self._flag_count -= 1
+            self._live -= 1
+
+    def _compact(self) -> None:
+        """Drop the dead array prefix and re-base every bucket index."""
+        pos = self._sweep_pos
+        self.starts = self.starts[pos:]
+        self.ends = self.ends[pos:]
+        self.rows = self.rows[pos:]
+        self.flags = self.flags[pos:]
+        self.keys = self.keys[pos:]
+        for key, bucket in self.buckets.items():
+            self.buckets[key] = [index - pos for index in bucket]
+        self._sweep_pos = 0
+
+    # ------------------------------------------------------------------ #
+    # Inspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def flagged(self) -> bool:
+        """True when any live element carries a Parallel-Track flag."""
+        return self._flag_count > 0
+
+    def value_count(self) -> int:
+        """Payload values held — O(1), cross-checked under ``sweep.DEBUG``."""
+        if sweep.DEBUG:
+            recount = sum(len(e.payload) for e in self)
+            assert self._values == recount, "columnar value count drifted"
+        return self._values
+
+    def __iter__(self) -> Iterator[StreamElement]:
+        for bucket in self.buckets.values():
+            for index in bucket:
+                yield self._element_at(index)
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def __repr__(self) -> str:
+        mode = "sorted" if self._sorted else "heap"
+        return (
+            f"ColumnarJoinState({len(self.buckets)} buckets, "
+            f"{self._live} live, {self._values} values, {mode})"
+        )

@@ -11,11 +11,17 @@ Section 2.2.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterator, List, Optional
+import heapq
+from typing import Any, Callable, Iterator, List, Optional, Tuple
 
+from ..temporal.batch import Batch
+from ..temporal.columnar import ColumnarBatch
 from ..temporal.element import Payload, StreamElement, combine_flags
-from ..temporal.time import Time
+from ..temporal.interval import TimeInterval
+from ..temporal.time import MAX_TIME, Time
+from . import base
 from .base import StatefulOperator
+from .colstate import ColumnarJoinState
 from .sweep import KeyedSweepArea, SweepArea
 
 # Metering note: both joins charge predicate work in aggregate — one
@@ -176,7 +182,19 @@ class HashJoin(_JoinBase):
         left_key / right_key: key extractors applied to the payloads.
         combiner: result payload constructor, default concatenation.
         predicate_cost: cost units charged per candidate comparison.
+
+    :meth:`enable_columnar` swaps both state sides to
+    :class:`~repro.operators.colstate.ColumnarJoinState` and routes
+    uniform-start :class:`~repro.temporal.columnar.ColumnarBatch` runs
+    through compiled probe kernels; every other input keeps the element
+    path, which reads and writes the same columnar state.
     """
+
+    #: Columnar mode flag; when set, ``_probe_kernels``/``_key_indices``
+    #: hold the per-port compiled kernels and positional key columns.
+    _columnar = False
+    _probe_kernels: Optional[Tuple[Any, Any]] = None
+    _key_indices: Optional[Tuple[int, int]] = None
 
     def __init__(
         self,
@@ -191,7 +209,181 @@ class HashJoin(_JoinBase):
         self._keys = (left_key, right_key)
         self._states: List[KeyedSweepArea] = [KeyedSweepArea(), KeyedSweepArea()]
 
+    def enable_columnar(self, left_index: int, right_index: int) -> None:
+        """Switch to columnar state plus compiled probe kernels.
+
+        ``left_index``/``right_index`` are the payload positions the
+        key extractors read — they MUST agree with the ``left_key`` /
+        ``right_key`` callables (the physical builder guarantees this);
+        the kernels read the positions, the element path the callables.
+        Call before feeding input: state is replaced, not migrated.
+        """
+        from ..plans.kernels import compile_probe_kernel
+
+        if self.combiner is not concat_payloads:
+            raise ValueError(
+                f"{self.name}: columnar mode requires the concat combiner"
+            )
+        self._columnar = True
+        #: Verifier hints: self-declared classification (CLS001 path) and
+        #: the columnar-state marker checked by CLS003.
+        self.migration_profile = "join"
+        self.columnar_state = True
+        self._key_indices = (left_index, right_index)
+        self._states = [
+            ColumnarJoinState(self._retention),
+            ColumnarJoinState(self._retention),
+        ]
+        self._probe_kernels = (
+            compile_probe_kernel(0, left_index),
+            compile_probe_kernel(1, right_index),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Columnar batch path
+    # ------------------------------------------------------------------ #
+
+    def process_batch(self, batch: Batch, port: int = 0) -> None:
+        """Kernel-probe a columnar run; else the stateful batch protocol.
+
+        The columnar path splits each uniform run around the watermark
+        purge exactly like :meth:`StatefulOperator.process_batch`: the
+        first element probes *pre-purge* partner state (expired-but-
+        unpurged partners still match, as in the element protocol), the
+        purge runs once, and the tail probes post-purge state.  Flagged
+        input or flagged state (Parallel Track lineage) falls back to
+        the element path, which the probe kernels do not model.
+        """
+        if (
+            not self._columnar
+            or type(batch) is not ColumnarBatch
+            or batch.flags is not None
+            or self._states[0].flagged
+            or self._states[1].flagged
+        ):
+            super().process_batch(batch, port)
+            return
+        if not batch.uniform_start:
+            for run in batch.runs():
+                self.process_batch(run, port)
+            return
+        self._check_port(port)
+        if base.SANITIZER is not None:
+            base.SANITIZER.on_batch(self, batch, port)
+        starts = batch.starts
+        t = starts[0]
+        if t < self._watermarks[port]:
+            raise ValueError(
+                f"{self.name}: out-of-order element on port {port}: "
+                f"{t} < watermark {self._watermarks[port]}"
+            )
+        self._watermarks[port] = t
+        n = len(starts)
+        ends = batch.ends
+        rows = batch.rows
+        own = self._states[port]
+        partner = self._states[1 - port]
+        kernel = self._probe_kernels[port].fn
+        key_index = self._key_indices[port]
+        probe = self.selectivity_probe
+        charge = self.meter.charge
+        cost = self.predicate_cost
+        out_s: List[Time] = []
+        out_e: List[Time] = []
+        out_r: List[Payload] = []
+        tested = len(partner)
+        matches, ahead = kernel(
+            0, 1, starts, ends, rows,
+            partner.buckets, partner.starts, partner.ends, partner.rows,
+            out_s, out_e, out_r,
+        )
+        own.insert_run(key_index, starts, ends, rows, 0, 1)
+        charge(1, "join-hash")
+        if matches:
+            charge(cost * matches, "join-predicate")
+        if probe is not None and tested:
+            probe(tested, matches)
+        self._flush_columnar(out_s, out_e, out_r, ahead)
+        if n > 1:
+            out_s = []
+            out_e = []
+            out_r = []
+            tested = len(partner)
+            matches, ahead = kernel(
+                1, n, starts, ends, rows,
+                partner.buckets, partner.starts, partner.ends, partner.rows,
+                out_s, out_e, out_r,
+            )
+            own.insert_run(key_index, starts, ends, rows, 1, n)
+            charge(n - 1, "join-hash")
+            if matches:
+                charge(cost * matches, "join-predicate")
+            if probe is not None and tested:
+                probe(tested * (n - 1), matches)
+            self._flush_columnar(out_s, out_e, out_r, ahead)
+        if batch.watermark > t:
+            self.process_heartbeat(batch.watermark, port)
+
+    def _flush_columnar(
+        self,
+        out_s: List[Time],
+        out_e: List[Time],
+        out_r: List[Payload],
+        ahead: bool,
+    ) -> None:
+        """The columnar twin of :meth:`Operator._advance`.
+
+        Purge, release, promise — same sequence, same observations.  The
+        fast branch forwards the probe output as one columnar batch: it
+        applies only when the element path would have released exactly
+        these results, in this order, right now — heap empty, every
+        result starting at the run start (``not ahead``), the watermark
+        at or past it, and at most one receiver (batch dispatch groups
+        per-receiver, element dispatch interleaves; with one receiver
+        the two orders coincide).  Otherwise results are staged and
+        released through the ordinary heap discipline.
+        """
+        watermark = self.min_watermark
+        if watermark > self._purged_watermark:
+            self._purged_watermark = watermark
+            self._on_watermark(watermark)
+        if (
+            out_s
+            and not ahead
+            and not self._heap
+            and watermark >= out_s[0]
+            and len(self._subscribers) + len(self._sinks) <= 1
+        ):
+            self._emit_batch(
+                ColumnarBatch.from_columns(
+                    out_s, out_e, out_r, None, out_s[-1], None, True
+                )
+            )
+        else:
+            if out_s:
+                stage = self._stage
+                for s, e, row in zip(out_s, out_e, out_r):
+                    stage(StreamElement(row, TimeInterval(s, e)))
+            heap = self._heap
+            while heap and heap[0][0] <= watermark:
+                element = heapq.heappop(heap)[2]
+                self._staged_values -= len(element.payload)
+                self._emit(element)
+        promise = self._output_watermark(watermark)
+        if promise > self._emitted_watermark:
+            self._emitted_watermark = promise
+            self._emit_heartbeat(min(promise, MAX_TIME))
+        if base.SANITIZER is not None:
+            base.SANITIZER.on_advance(self)
+
+    # ------------------------------------------------------------------ #
+    # Element path (plain batches, migration feeds, flagged input)
+    # ------------------------------------------------------------------ #
+
     def _on_element(self, element: StreamElement, port: int) -> None:
+        if self._columnar:
+            self._on_element_columnar(element, port)
+            return
         key = self._keys[port](element.payload)
         self.meter.charge(1, "join-hash")
         matches = 0
@@ -209,8 +401,54 @@ class HashJoin(_JoinBase):
                 self.selectivity_probe(tested, matches)
         self._states[port].insert(key, element)
 
+    def _on_element_columnar(self, element: StreamElement, port: int) -> None:
+        """One element against columnar state — same probes, same charges."""
+        payload = element.payload
+        key = self._keys[port](payload)
+        self.meter.charge(1, "join-hash")
+        partner = self._states[1 - port]
+        matches = 0
+        bucket = partner.buckets.get(key)
+        if bucket:
+            s = element.interval.start
+            e = element.interval.end
+            flag = element.flag
+            p_starts = partner.starts
+            p_ends = partner.ends
+            p_rows = partner.rows
+            p_flags = partner.flags
+            left = port == 0
+            stage = self._stage
+            for j in bucket:
+                matches += 1
+                ps = p_starts[j]
+                pe = p_ends[j]
+                s2 = ps if ps > s else s
+                e2 = pe if pe < e else e
+                if s2 < e2:
+                    row = payload + p_rows[j] if left else p_rows[j] + payload
+                    stage(
+                        StreamElement(
+                            row,
+                            TimeInterval(s2, e2),
+                            combine_flags(flag, p_flags[j]),
+                        )
+                    )
+        if matches:
+            self.meter.charge(self.predicate_cost * matches, "join-predicate")
+        if self.selectivity_probe is not None:
+            tested = len(partner)
+            if tested:
+                self.selectivity_probe(tested, matches)
+        self._states[port].insert(
+            key, element.interval.start, element.interval.end, payload, element.flag
+        )
+
     def _on_run_tail(self, elements: List[StreamElement], port: int) -> None:
         """Probe a uniform-start run bucket-wise with hoisted bindings."""
+        if self._columnar:
+            self._on_run_tail_columnar(elements, port)
+            return
         partner_state = self._states[1 - port]
         tested = len(partner_state)
         key_of = self._keys[port]
@@ -230,6 +468,56 @@ class HashJoin(_JoinBase):
             if probe is not None and tested:
                 probe(tested, matches)
             insert(key, element)
+            total += 1
+        self.meter.charge(total, "join-hash")
+        if total_matches:
+            self.meter.charge(self.predicate_cost * total_matches, "join-predicate")
+
+    def _on_run_tail_columnar(self, elements: List[StreamElement], port: int) -> None:
+        """The run tail against columnar state — aggregated metering."""
+        partner = self._states[1 - port]
+        own = self._states[port]
+        tested = len(partner)
+        key_of = self._keys[port]
+        buckets_get = partner.buckets.get
+        probe = self.selectivity_probe
+        stage = self._stage
+        insert = own.insert
+        p_starts = partner.starts
+        p_ends = partner.ends
+        p_rows = partner.rows
+        p_flags = partner.flags
+        left = port == 0
+        total_matches = 0
+        total = 0
+        for element in elements[1:]:
+            payload = element.payload
+            key = key_of(payload)
+            matches = 0
+            bucket = buckets_get(key)
+            if bucket:
+                s = element.interval.start
+                e = element.interval.end
+                flag = element.flag
+                for j in bucket:
+                    matches += 1
+                    ps = p_starts[j]
+                    pe = p_ends[j]
+                    s2 = ps if ps > s else s
+                    e2 = pe if pe < e else e
+                    if s2 < e2:
+                        row = payload + p_rows[j] if left else p_rows[j] + payload
+                        stage(
+                            StreamElement(
+                                row,
+                                TimeInterval(s2, e2),
+                                combine_flags(flag, p_flags[j]),
+                            )
+                        )
+            total_matches += matches
+            if probe is not None and tested:
+                probe(tested, matches)
+            insert(key, element.interval.start, element.interval.end, payload, element.flag)
             total += 1
         self.meter.charge(total, "join-hash")
         if total_matches:

@@ -13,6 +13,7 @@ from collections import deque
 from typing import Deque, Iterator
 
 from ..temporal.batch import Batch
+from ..temporal.columnar import ColumnarBatch
 from ..temporal.element import StreamElement
 from ..temporal.interval import TimeInterval
 from ..temporal.time import MAX_TIME, Time
@@ -27,11 +28,20 @@ class _MappingWindow(StatelessOperator):
     per-element advances of the fallback loop, because each intermediate
     heartbeat promise equals the start of the element that just preceded
     it — a no-op at every subscriber that consumed the element.
+
+    Columnar batches whose rewrite can run on the ``t_E`` column alone
+    (:meth:`_map_columnar`) stay columnar end to end — same charges, same
+    emission — which is how struct-of-arrays runs reach the stateful
+    kernels downstream without a single element being boxed.
     """
 
     def _map_element(self, element: StreamElement) -> StreamElement:
         """The validity rewrite applied to each element."""
         raise NotImplementedError
+
+    def _map_columnar(self, batch: ColumnarBatch) -> "ColumnarBatch | None":
+        """The same rewrite over whole columns, or ``None`` to box."""
+        return None
 
     def _on_element(self, element: StreamElement, port: int) -> None:
         self.meter.charge(1, "window")
@@ -39,8 +49,24 @@ class _MappingWindow(StatelessOperator):
 
     def process_batch(self, batch: Batch, port: int = 0) -> None:
         self._check_port(port)
-        elements = batch.elements
         watermarks = self._watermarks
+        if type(batch) is ColumnarBatch:
+            mapped_batch = self._map_columnar(batch)
+            if mapped_batch is not None:
+                first = batch.first_start
+                if first < watermarks[port]:
+                    raise ValueError(
+                        f"{self.name}: out-of-order element on port {port}: "
+                        f"{first} < watermark {watermarks[port]}"
+                    )
+                watermarks[port] = batch.last_start
+                self.meter.charge(len(batch), "window")
+                self._emit_batch(mapped_batch)
+                self._advance()
+                if batch.watermark > watermarks[port]:
+                    self.process_heartbeat(batch.watermark, port)
+                return
+        elements = batch.elements
         if elements[0].start < watermarks[port]:
             raise ValueError(
                 f"{self.name}: out-of-order element on port {port}: "
@@ -63,9 +89,26 @@ class TimeWindow(_MappingWindow):
         if size < 0:
             raise ValueError(f"window size must be non-negative, got {size}")
         self.size = size
+        self._extend_kernel = None
 
     def _map_element(self, element: StreamElement) -> StreamElement:
         return element.with_interval(element.interval.extend(self.size))
+
+    def _map_columnar(self, batch: ColumnarBatch) -> ColumnarBatch:
+        kernel = self._extend_kernel
+        if kernel is None:
+            from ..plans.kernels import compile_extend_kernel
+
+            kernel = self._extend_kernel = compile_extend_kernel()
+        return ColumnarBatch.from_columns(
+            batch.starts,
+            kernel.fn(batch.ends, self.size),
+            batch.rows,
+            batch.flags,
+            batch.watermark,
+            batch.source,
+            batch.uniform_start,
+        )
 
 
 class NowWindow(_MappingWindow):
@@ -78,6 +121,9 @@ class NowWindow(_MappingWindow):
     def _map_element(self, element: StreamElement) -> StreamElement:
         return element
 
+    def _map_columnar(self, batch: ColumnarBatch) -> ColumnarBatch:
+        return batch
+
 
 class UnboundedWindow(_MappingWindow):
     """The unbounded window: elements never expire.
@@ -88,6 +134,17 @@ class UnboundedWindow(_MappingWindow):
 
     def _map_element(self, element: StreamElement) -> StreamElement:
         return element.with_interval(TimeInterval(element.start, MAX_TIME))
+
+    def _map_columnar(self, batch: ColumnarBatch) -> ColumnarBatch:
+        return ColumnarBatch.from_columns(
+            batch.starts,
+            [MAX_TIME] * len(batch),
+            batch.rows,
+            batch.flags,
+            batch.watermark,
+            batch.source,
+            batch.uniform_start,
+        )
 
 
 class CountWindow(Operator):

@@ -38,6 +38,7 @@ from ..engine.box import Box, InputPort
 from ..operators.base import Operator, StatelessOperator
 from ..operators import base as _operator_base
 from ..temporal.batch import Batch
+from ..temporal.columnar import ColumnarBatch
 from ..temporal.element import StreamElement
 from .kernels import CompiledKernel, FusedStep, compile_kernel
 
@@ -109,7 +110,17 @@ class FusedStateless(StatelessOperator):
         out, counts = self.kernel.fn(elements)
         self._charge(counts)
         if out:
-            self._emit_batch(batch.with_elements(out))
+            if type(batch) is ColumnarBatch:
+                # Fused kernels work element-wise, but a columnar run must
+                # leave the chain columnar so downstream stateful kernels
+                # still see struct-of-arrays input.
+                self._emit_batch(
+                    ColumnarBatch.from_elements(
+                        out, batch.watermark, batch.source, batch.uniform_start
+                    )
+                )
+            else:
+                self._emit_batch(batch.with_elements(out))
         self._advance()
         if batch.watermark > watermarks[0]:
             self.process_heartbeat(batch.watermark, 0)

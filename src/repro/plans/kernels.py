@@ -241,49 +241,280 @@ def _validate_chain(steps: Sequence[FusedStep]) -> None:
             )
 
 
-#: The process-wide compile cache, keyed on the chain's structural
-#: identity: every :class:`FusedStep` hashes over its expression trees
-#: (structural ``Expression._key`` tuples) and schemas.
-_CACHE: Dict[Tuple[FusedStep, ...], CompiledKernel] = {}
+#: The process-wide compile cache.  Fused stateless chains key on their
+#: structural identity — a tuple of :class:`FusedStep`\ s, each hashing
+#: over its expression trees (structural ``Expression._key`` tuples) and
+#: schemas.  Stateful kernels key on tagged tuples such as
+#: ``("hash-probe", port, key_index)`` — a leading string tag no
+#: ``FusedStep`` tuple can collide with.
+_CACHE: Dict[Any, Any] = {}
 _HITS = 0
 _MISSES = 0
+
+#: Lifetime counters: like the pair above but *never* reset by
+#: :func:`clear_kernel_cache`, so per-query deltas (see
+#: :meth:`repro.engine.metrics.MetricsRecorder.to_dict`) survive a
+#: mid-run cache clear instead of going negative or skewing hit rates.
+_LIFETIME_HITS = 0
+_LIFETIME_MISSES = 0
+_LIFETIME_COMPILED = 0
+
+
+def _compile_cached(key: Any, build: Callable[[], Any]) -> Any:
+    """Fetch ``key`` from the process-wide cache, building on a miss."""
+    global _HITS, _MISSES, _LIFETIME_HITS, _LIFETIME_MISSES, _LIFETIME_COMPILED
+    cached = _CACHE.get(key)
+    if cached is not None:
+        _HITS += 1
+        _LIFETIME_HITS += 1
+        return cached
+    _MISSES += 1
+    _LIFETIME_MISSES += 1
+    kernel = build()
+    _CACHE[key] = kernel
+    _LIFETIME_COMPILED += 1
+    return kernel
+
+
+def _exec_kernel(source: str, namespace: Dict[str, Any]) -> Callable[..., Any]:
+    """Compile ``source`` and return its ``_kernel`` function."""
+    code = compile(source, f"<kernel:{len(_CACHE)}>", "exec")
+    exec(code, namespace)
+    return namespace["_kernel"]
 
 
 def compile_kernel(steps: Sequence[FusedStep]) -> CompiledKernel:
     """Compile (or fetch from cache) the kernel for a fused chain."""
-    global _HITS, _MISSES
     key = tuple(steps)
-    cached = _CACHE.get(key)
-    if cached is not None:
-        _HITS += 1
-        return cached
-    _MISSES += 1
-    _validate_chain(key)
-    hoisted: Dict[str, Any] = {}
-    source = generate_source(key, hoisted)
-    namespace: Dict[str, Any] = {"__builtins__": {"len": len}}
-    namespace.update(hoisted)
-    code = compile(source, f"<kernel:{len(_CACHE)}>", "exec")
-    exec(code, namespace)
-    kernel = CompiledKernel(
-        fn=namespace["_kernel"],
-        source=source,
-        steps=key,
-        input_schema=key[0].input_schema,
-        output_schema=key[-1].output_schema,
-    )
-    _CACHE[key] = kernel
-    return kernel
+
+    def build() -> CompiledKernel:
+        _validate_chain(key)
+        hoisted: Dict[str, Any] = {}
+        source = generate_source(key, hoisted)
+        namespace: Dict[str, Any] = {"__builtins__": {"len": len}}
+        namespace.update(hoisted)
+        return CompiledKernel(
+            fn=_exec_kernel(source, namespace),
+            source=source,
+            steps=key,
+            input_schema=key[0].input_schema,
+            output_schema=key[-1].output_schema,
+        )
+
+    return _compile_cached(key, build)
 
 
 def kernel_cache_stats() -> Dict[str, int]:
-    """Process-wide compile-cache counters (hits, misses, compiled size)."""
-    return {"hits": _HITS, "misses": _MISSES, "compiled": len(_CACHE)}
+    """Process-wide compile-cache counters.
+
+    ``hits``/``misses``/``compiled`` reflect the current cache epoch
+    (reset by :func:`clear_kernel_cache`); the ``lifetime_*`` trio is
+    monotone over the whole process, the basis for per-query deltas.
+    """
+    return {
+        "hits": _HITS,
+        "misses": _MISSES,
+        "compiled": len(_CACHE),
+        "lifetime_hits": _LIFETIME_HITS,
+        "lifetime_misses": _LIFETIME_MISSES,
+        "lifetime_compiled": _LIFETIME_COMPILED,
+    }
 
 
 def clear_kernel_cache() -> None:
-    """Drop all cached kernels and zero the counters (test isolation)."""
+    """Drop all cached kernels and zero the epoch counters.
+
+    Test isolation and bench cold-start measurement; the lifetime
+    counters keep running so metric deltas stay meaningful.
+    """
     global _HITS, _MISSES
     _CACHE.clear()
     _HITS = 0
     _MISSES = 0
+
+
+# --------------------------------------------------------------------- #
+# Stateful kernels: hash-join probe, aggregate fold, window assignment
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class StatefulKernel:
+    """A generated kernel over columnar state, plus its cache identity.
+
+    Unlike :class:`CompiledKernel` these functions read parallel
+    start/end/row columns (of a
+    :class:`~repro.temporal.columnar.ColumnarBatch` and of columnar
+    operator state) rather than boxed elements; ``key`` is the tagged
+    cache-key tuple that produced the kernel.
+    """
+
+    fn: Callable[..., Any]
+    source: str
+    key: Tuple[Any, ...]
+
+
+def compile_probe_kernel(port: int, key_index: int) -> StatefulKernel:
+    """The hash-join probe loop for one input port, as generated code.
+
+    ``fn(lo, hi, starts, ends, rows, buckets, p_starts, p_ends, p_rows,
+    out_s, out_e, out_r)`` probes the *partner* side's columnar state
+    (``buckets`` maps key → partner row indices in insertion order) for
+    the run slice ``[lo, hi)``, appends every intersecting result to the
+    ``out_*`` columns, and returns ``(matches, ahead)``:
+
+    * ``matches`` counts every bucket candidate *before* the interval
+      intersection — exactly the element path's predicate-charge count;
+    * ``ahead`` is True when some result starts after the run's own
+      start (possible only when the partner watermark runs ahead), in
+      which case the caller must stage instead of fast-emitting.
+
+    Payload concatenation order follows the port: a port-0 probe emits
+    ``row + partner_row``, a port-1 probe the reverse.  The kernel is
+    flag-free — Parallel Track (the only flag producer) feeds the
+    element path, so columnar callers bail out on flagged input.
+    """
+    key = ("hash-probe", port, key_index)
+
+    def build() -> StatefulKernel:
+        pair = "row + p_rows[j]" if port == 0 else "p_rows[j] + row"
+        source = (
+            "def _kernel(lo, hi, starts, ends, rows, buckets,"
+            " p_starts, p_ends, p_rows, out_s, out_e, out_r):\n"
+            "    get = buckets.get\n"
+            "    app_s = out_s.append\n"
+            "    app_e = out_e.append\n"
+            "    app_r = out_r.append\n"
+            "    matches = 0\n"
+            "    ahead = False\n"
+            "    for i in range(lo, hi):\n"
+            "        row = rows[i]\n"
+            f"        bucket = get(row[{key_index}])\n"
+            "        if bucket:\n"
+            "            s = starts[i]\n"
+            "            e = ends[i]\n"
+            "            for j in bucket:\n"
+            "                matches += 1\n"
+            "                ps = p_starts[j]\n"
+            "                pe = p_ends[j]\n"
+            "                s2 = ps if ps > s else s\n"
+            "                e2 = pe if pe < e else e\n"
+            "                if s2 < e2:\n"
+            "                    if s2 > s:\n"
+            "                        ahead = True\n"
+            "                    app_s(s2)\n"
+            "                    app_e(e2)\n"
+            f"                    app_r({pair})\n"
+            "    return matches, ahead\n"
+        )
+        namespace: Dict[str, Any] = {"__builtins__": {"range": range}}
+        return StatefulKernel(fn=_exec_kernel(source, namespace), source=source, key=key)
+
+    return _compile_cached(key, build)
+
+
+#: Aggregate functions the fold kernel can inline, by name.
+_FOLDABLE = ("count", "sum", "avg", "min", "max")
+
+
+def compile_fold_kernel(spec: Tuple[Tuple[str, Any], ...]) -> StatefulKernel:
+    """The ungrouped-aggregate segment fold, as generated code.
+
+    ``spec`` is a tuple of ``(function_name, payload_index)`` pairs
+    (``index`` is ``None`` for ``count``).  ``fn(a, starts, ends, rows,
+    flags)`` folds, in one pass over the open state's insertion order,
+    every element whose validity contains the segment start ``a`` —
+    ``starts[i] <= a < ends[i]`` — and returns ``(n, values, flag)``:
+    the live count (the element path's per-segment meter charge), the
+    aggregate payload tuple, and the merged PT flag (``None`` for an
+    all-unflagged segment, ``NEW`` only when *all* live elements are
+    new, else ``OLD`` — :func:`repro.operators.aggregate.merge_flags`).
+    ``n == 0`` yields ``(0, None, None)``: the segment is skipped.
+    """
+    key = ("agg-fold", tuple(spec))
+
+    def build() -> StatefulKernel:
+        inits: List[str] = []
+        folds: List[str] = []
+        values: List[str] = []
+        needs_row = False
+        for k, (fname, index) in enumerate(spec):
+            if fname not in _FOLDABLE:
+                raise ValueError(f"cannot fold aggregate function {fname!r}")
+            if fname == "count":
+                values.append("n")
+                continue
+            needs_row = True
+            acc = f"a{k}"
+            if fname in ("sum", "avg"):
+                inits.append(f"    {acc} = 0")
+                folds.append(f"            {acc} += row[{index}]")
+                values.append(acc if fname == "sum" else f"{acc} / n")
+            else:
+                op = "<" if fname == "min" else ">"
+                inits.append(f"    {acc} = None")
+                folds.append(f"            v = row[{index}]")
+                folds.append(
+                    f"            if {acc} is None or v {op} {acc}:"
+                )
+                folds.append(f"                {acc} = v")
+                values.append(acc)
+        if needs_row:
+            folds.insert(0, "            row = rows[i]")
+        tuple_src = "(" + ", ".join(values) + ("," if len(values) == 1 else "") + ")"
+        lines = [
+            "def _kernel(a, starts, ends, rows, flags):",
+            "    n = 0",
+            "    nones = 0",
+            "    news = 0",
+            *inits,
+            "    for i in range(len(starts)):",
+            "        if starts[i] <= a < ends[i]:",
+            "            n += 1",
+            "            f = flags[i]",
+            "            if f is None:",
+            "                nones += 1",
+            "            elif f == NEW:",
+            "                news += 1",
+            *folds,
+            "    if n == 0:",
+            "        return 0, None, None",
+            "    if nones == n:",
+            "        flag = None",
+            "    elif news == n:",
+            "        flag = NEW",
+            "    else:",
+            "        flag = OLD",
+            f"    return n, {tuple_src}, flag",
+        ]
+        source = "\n".join(lines) + "\n"
+        from ..temporal.element import NEW, OLD
+
+        namespace: Dict[str, Any] = {
+            "__builtins__": {"range": range, "len": len},
+            "NEW": NEW,
+            "OLD": OLD,
+        }
+        return StatefulKernel(fn=_exec_kernel(source, namespace), source=source, key=key)
+
+    return _compile_cached(key, build)
+
+
+def compile_extend_kernel() -> StatefulKernel:
+    """The time-window end-extension map over a ``t_E`` column.
+
+    ``fn(ends, window)`` returns the new end column — each entry
+    extended by the window size, the columnar twin of
+    :meth:`TimeInterval.extend` applied element-wise.
+    """
+    key = ("window-extend",)
+
+    def build() -> StatefulKernel:
+        source = (
+            "def _kernel(ends, window):\n"
+            "    return [e + window for e in ends]\n"
+        )
+        namespace: Dict[str, Any] = {"__builtins__": {}}
+        return StatefulKernel(fn=_exec_kernel(source, namespace), source=source, key=key)
+
+    return _compile_cached(key, build)

@@ -51,6 +51,12 @@ class PhysicalBuilder:
             to every built box.  On by default — fused and unfused boxes
             are byte-identical — and ``fuse=False`` keeps the unfused
             chain reachable as the equivalence oracle.
+        columnar: enable struct-of-arrays state and compiled stateful
+            kernels on the operators that support them (hash-join probe
+            and build, the ungrouped-aggregate segment fold).  On by
+            default — columnar and element-wise boxes are byte-identical —
+            and ``columnar=False`` keeps the element-wise path reachable
+            as the equivalence oracle.
     """
 
     def __init__(
@@ -59,6 +65,7 @@ class PhysicalBuilder:
         select_cost: int = 1,
         force_nested_loops: bool = False,
         fuse: bool = True,
+        columnar: bool = True,
     ) -> None:
         self.join_cost = join_cost
         self.select_cost = select_cost
@@ -66,6 +73,7 @@ class PhysicalBuilder:
         #: experimental setup (4-way nested-loops join trees, Section 5).
         self.force_nested_loops = force_nested_loops
         self.fuse = fuse
+        self.columnar = columnar
 
     def build(self, plan: LogicalPlan, label: str = "") -> Box:
         """Compile ``plan`` into an executable :class:`Box`."""
@@ -159,6 +167,10 @@ class PhysicalBuilder:
                 predicate_cost=self.join_cost,
                 name=f"hash-join[{left_column}={right_column}]",
             )
+            if self.columnar:
+                # The positional indices mirror the key closures above, so
+                # the compiled probe kernels and the element path agree.
+                join.enable_columnar(left_index, right_index)
         elif node.condition is None:
             join = NestedLoopsJoin(
                 lambda left, right: True,
@@ -199,4 +211,18 @@ class PhysicalBuilder:
             indices = tuple(schema.index(column) for column in node.group_by)
             group_key = lambda row: tuple(row[i] for i in indices)
         name = f"aggregate[{','.join(s.output_name() for s in node.aggregates)}]"
-        return Aggregate(functions, group_key=group_key, name=name)
+        aggregate = Aggregate(functions, group_key=group_key, name=name)
+        if (
+            self.columnar
+            and group_key is None
+            and len(functions) == len(node.aggregates)
+        ):
+            spec = tuple(
+                (
+                    spec.function,
+                    schema.index(spec.column) if spec.column is not None else None,
+                )
+                for spec in node.aggregates
+            )
+            aggregate.enable_columnar(spec)
+        return aggregate

@@ -8,6 +8,7 @@ every operator and for plan migration itself.
 """
 
 from .batch import Batch
+from .columnar import ColumnarBatch
 from .element import (
     NEW,
     OLD,
@@ -38,6 +39,7 @@ from .time import CHRONON, EPSILON, MAX_TIME, MIN_TIME, Time, is_finite, validat
 __all__ = [
     "Batch",
     "CHRONON",
+    "ColumnarBatch",
     "EPSILON",
     "IntervalSet",
     "MAX_TIME",

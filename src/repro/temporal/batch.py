@@ -141,6 +141,21 @@ class Batch:
         """
         return Batch._trusted(elements, self.watermark, self.source, self._uniform)
 
+    def to_columnar(self) -> "Batch":
+        """This run in struct-of-arrays layout (no copy of the payloads).
+
+        Returns a :class:`~repro.temporal.columnar.ColumnarBatch`, the
+        input currency of the compiled stateful kernels; already-columnar
+        batches return themselves.
+        """
+        from .columnar import ColumnarBatch
+
+        if isinstance(self, ColumnarBatch):
+            return self
+        return ColumnarBatch.from_elements(
+            self.elements, self.watermark, self.source, self._uniform
+        )
+
     def runs(self) -> Iterator["Batch"]:
         """Split into maximal uniform-start sub-runs (watermark on the last).
 

@@ -1,4 +1,4 @@
-"""Tests for the project-specific AST lint rules (RLB001–RLB004)."""
+"""Tests for the project-specific AST lint rules (RLB001–RLB005)."""
 
 from pathlib import Path
 
@@ -154,6 +154,31 @@ class TestKernelInputRule:
     def test_method_call_spelling_flagged(self):
         code = "kernel = kernels.compile_kernel((lambda r: r,))\n"
         assert codes(lint_source(code)) == ["RLB004"]
+
+
+class TestColumnInternalRule:
+    def test_column_internal_read_flagged(self):
+        code = "def probe(batch):\n    return batch._starts[0]\n"
+        findings = lint_source(code, path="src/repro/operators/bad.py")
+        assert codes(findings) == ["RLB005"]
+        assert "ColumnarBatch read API" in findings[0].message
+
+    def test_column_internal_write_flagged(self):
+        code = "def clobber(batch):\n    batch._cached = None\n"
+        assert codes(lint_source(code, path="src/repro/engine/bad.py")) == [
+            "RLB005"
+        ]
+
+    def test_temporal_layer_exempt(self):
+        code = "def probe(batch):\n    return batch._starts[0]\n"
+        assert lint_source(code, path="src/repro/temporal/columnar.py") == []
+
+    def test_read_api_allowed(self):
+        code = (
+            "def probe(batch):\n"
+            "    return batch.starts, batch.ends, batch.rows, batch.flags\n"
+        )
+        assert lint_source(code, path="src/repro/operators/ok.py") == []
 
 
 class TestWholeTree:

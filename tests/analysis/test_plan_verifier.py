@@ -271,6 +271,36 @@ class TestOperatorClassification:
         _, diagnostic = classify_operator(Misdeclared())
         assert diagnostic is not None and diagnostic.code == "CLS001"
 
+    def test_columnar_state_without_drain_hooks_is_warned(self):
+        class Undrainable(Operator):
+            migration_profile = "join"
+            columnar_state = True
+
+            def _on_element(self, element, port):
+                self._emit(element)
+
+        from repro.analysis import classify_operator
+        from repro.analysis.plan_verifier import WARNING
+
+        classification, diagnostic = classify_operator(Undrainable())
+        assert classification.kind == "join"
+        assert diagnostic is not None and diagnostic.code == "CLS003"
+        assert diagnostic.severity == WARNING
+        assert "state_of_port" in diagnostic.message
+
+    def test_columnar_hash_join_passes_drainability_check(self):
+        # The real columnar join materialises its struct-of-arrays state
+        # through state_of_port/seed_state, so no CLS003.
+        box = build(JoinNode(A, B, AB))
+        join = box.root
+        assert getattr(join, "columnar_state", False)
+        from repro.analysis import classify_operator
+
+        classification, diagnostic = classify_operator(join)
+        assert classification.kind == "join"
+        assert diagnostic is None
+        assert verify_box(box).ok
+
 
 class TestReporting:
     def test_report_and_dict_are_consistent(self):

@@ -59,6 +59,57 @@ class TestMemoryAndCost:
         assert recorder.memory_usage() == []
 
 
+class TestKernelCacheReadout:
+    def test_per_query_deltas_survive_cache_clear(self):
+        from repro.plans import (
+            Comparison,
+            Field,
+            Literal,
+            clear_kernel_cache,
+            compile_kernel,
+            select_step,
+        )
+
+        clear_kernel_cache()
+        recorder = MetricsRecorder()
+        make = lambda: (  # noqa: E731 - two distinct, equal trees
+            select_step(Comparison(">", Field("q"), Literal(1)), ("q",)),
+        )
+        compile_kernel(make())
+        compile_kernel(make())
+        # Another query clearing the process-wide cache must not erase
+        # this recorder's readout: the deltas ride the lifetime counters.
+        clear_kernel_cache()
+        cache = recorder.to_dict()["kernel_cache"]
+        assert cache["compiled"] == 1
+        assert cache["misses"] == 1
+        assert cache["hits"] == 1
+        assert cache["process_epoch"] == {"hits": 0, "misses": 0, "compiled": 0}
+
+    def test_pre_construction_traffic_excluded(self):
+        from repro.plans import (
+            Comparison,
+            Field,
+            Literal,
+            clear_kernel_cache,
+            compile_kernel,
+            select_step,
+        )
+
+        clear_kernel_cache()
+        compile_kernel(
+            (select_step(Comparison("<", Field("r"), Literal(9)), ("r",)),)
+        )
+        recorder = MetricsRecorder()  # baseline taken *after* the compile
+        cache = recorder.to_dict()["kernel_cache"]
+        assert cache == {
+            "hits": 0,
+            "misses": 0,
+            "compiled": 0,
+            "process_epoch": {"hits": 0, "misses": 1, "compiled": 1},
+        }
+
+
 class TestPersistence:
     def test_to_dict_round_trip(self, tmp_path):
         recorder = MetricsRecorder(bucket_size=10)

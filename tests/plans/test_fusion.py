@@ -103,7 +103,16 @@ class TestKernelCompiler:
         first = compile_kernel(make())
         second = compile_kernel(make())
         assert first is second
-        assert kernel_cache_stats() == {"hits": 1, "misses": 1, "compiled": 1}
+        stats = kernel_cache_stats()
+        assert {k: stats[k] for k in ("hits", "misses", "compiled")} == {
+            "hits": 1,
+            "misses": 1,
+            "compiled": 1,
+        }
+        # The lifetime counters are monotone: clear_kernel_cache() resets
+        # only the epoch view above.
+        assert stats["lifetime_hits"] >= stats["hits"]
+        assert stats["lifetime_compiled"] >= stats["compiled"]
 
     def test_different_schema_is_a_different_kernel(self):
         clear_kernel_cache()
