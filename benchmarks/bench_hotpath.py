@@ -451,6 +451,126 @@ def run_columnar_scenario(
     return result, outputs, executor.meter.total
 
 
+# --------------------------------------------------------------------- #
+# Checkpoint / restore timing
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class RecoveryConfig:
+    """The checkpoint/restore scenario: a two-stream hash-join service."""
+
+    count: int   # total elements across both streams
+    window: int  # CQL RANGE of both inputs, chronons
+    domain: int  # join-key values drawn from [0, domain)
+
+
+RECOVERY_FULL = RecoveryConfig(count=20000, window=200, domain=64)
+RECOVERY_SMOKE = RecoveryConfig(count=2000, window=50, domain=32)
+
+
+def run_recovery_scenario(config: RecoveryConfig) -> Dict[str, object]:
+    """Checkpoint a mid-stream service, restore it, replay the tail.
+
+    Reports the three recovery costs a deployment plans around — snapshot
+    size, checkpoint pause (capture + encode + write) and the latency from
+    starting the restore until the recovered service delivers its first
+    new result — plus the replay throughput and a byte-identity check
+    against an uninterrupted twin.
+    """
+    import tempfile
+
+    from repro.cql import Catalog
+    from repro.recovery import CheckpointManager, restore_service
+    from repro.service import ContinuousQueryService, ControllerPolicy
+
+    def make_service() -> ContinuousQueryService:
+        service = ContinuousQueryService(
+            catalog=Catalog({"bids": ("item",), "asks": ("item",)}),
+            policy=ControllerPolicy(period=10**9),
+        )
+        service.register(
+            "q",
+            f"SELECT * FROM bids [RANGE {config.window}], "
+            f"asks [RANGE {config.window}] WHERE bids.item = asks.item",
+        )
+        return service
+
+    # The low bits of i * _MIX preserve i's parity, which is also the
+    # source selector — shift them out so both streams share key values.
+    feed = [
+        (
+            "bids" if i % 2 == 0 else "asks",
+            element((((i * _MIX) >> 7) % config.domain,), i, i + 1),
+        )
+        for i in range(config.count)
+    ]
+    cut = config.count // 2
+
+    baseline = make_service()
+    for source, item in feed:
+        baseline.hub.push(source, item)
+    baseline.finish()
+
+    victim = make_service()
+    for source, item in feed[:cut]:
+        victim.hub.push(source, item)
+    state_values = victim.registry.get("q").executor.state_value_count()
+
+    handle, path = tempfile.mkstemp(suffix=".ckpt")
+    os.close(handle)
+    try:
+        started = time.perf_counter()
+        snapshot_bytes = CheckpointManager(victim).checkpoint(path)
+        checkpoint_seconds = time.perf_counter() - started
+        del victim  # the process dies; only the snapshot file survives
+
+        restore_started = time.perf_counter()
+        restored = restore_service(path, policy=ControllerPolicy(period=10**9))
+        restore_seconds = time.perf_counter() - restore_started
+    finally:
+        os.unlink(path)
+
+    query = restored.registry.get("q")
+    delivered_at_restore = len(query.results)
+    first_output_seconds: Optional[float] = None
+    skip = dict(restored.hub.offsets)
+    replayed = 0
+    replay_started = time.perf_counter()
+    for source, item in feed:
+        pending = skip.get(source, 0)
+        if pending:
+            skip[source] = pending - 1
+            continue
+        restored.hub.push(source, item)
+        replayed += 1
+        if (
+            first_output_seconds is None
+            and len(query.results) > delivered_at_restore
+        ):
+            first_output_seconds = time.perf_counter() - restore_started
+    replay_seconds = time.perf_counter() - replay_started
+    restored.finish()
+
+    return {
+        "elements": config.count,
+        "checkpoint_at_element": cut,
+        "state_values_at_checkpoint": state_values,
+        "snapshot_bytes": snapshot_bytes,
+        "checkpoint_seconds": round(checkpoint_seconds, 6),
+        "restore_seconds": round(restore_seconds, 6),
+        "restore_to_first_output_seconds": (
+            None
+            if first_output_seconds is None
+            else round(first_output_seconds, 6)
+        ),
+        "replayed_elements": replayed,
+        "replay_elements_per_sec": round(replayed / replay_seconds, 1),
+        "results_match": query.results
+        == baseline.registry.get("q").results,
+    }
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -590,6 +710,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"outputs match: {report['columnar']['outputs_match']}"
     )
 
+    # Checkpoint/restore: size and pause of a mid-stream snapshot, and how
+    # long a crashed service takes to produce its first post-restore result.
+    recovery = run_recovery_scenario(RECOVERY_SMOKE if args.smoke else RECOVERY_FULL)
+    report["recovery"] = recovery
+    first_output = recovery["restore_to_first_output_seconds"]
+    print(
+        f"{'recovery':16s} snapshot {recovery['snapshot_bytes']} bytes "
+        f"({recovery['state_values_at_checkpoint']} state values), "
+        f"pause {recovery['checkpoint_seconds'] * 1e3:.1f} ms, "
+        f"first output "
+        f"{'n/a' if first_output is None else f'{first_output * 1e3:.1f} ms'} "
+        f"after restore start, replay "
+        f"{recovery['replay_elements_per_sec']:.1f} elements/sec, "
+        f"results match: {recovery['results_match']}"
+    )
+
     if baseline is not None:
         comparison = {}
         for key, result in report["scenarios"].items():
@@ -674,6 +810,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         if not report["columnar"]["outputs_match"]:
             print("columnar          outputs diverged from element path [REGRESSION]")
             failed = True
+        # Recovery's hard gate is correctness: checkpoint → restore →
+        # replay must reproduce the uninterrupted run byte for byte.  The
+        # replay throughput is additionally ratio-gated same-mode (the
+        # timings are absolute and runner-sensitive, like the scenarios).
+        if not report["recovery"]["results_match"]:
+            print("recovery          restored run diverged from uninterrupted run [REGRESSION]")
+            failed = True
+        committed_recovery = regress.get("recovery")
+        if committed_recovery and report["mode"] == regress.get("mode"):
+            ratio = (
+                report["recovery"]["replay_elements_per_sec"]
+                / committed_recovery["replay_elements_per_sec"]
+            )
+            status = "ok" if ratio >= args.min_ratio else "REGRESSION"
+            print(
+                f"{'recovery replay':16s} {ratio:.2f}x of committed "
+                f"({committed_recovery['replay_elements_per_sec']} elements/sec) "
+                f"[{status}]"
+            )
+            failed = failed or ratio < args.min_ratio
         if failed:
             print(f"throughput fell below {args.min_ratio:.2f}x of {args.regress}")
             return 1

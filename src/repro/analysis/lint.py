@@ -43,6 +43,14 @@ dependency — ``ruff``/``mypy`` run additionally in CI):
     lazy-materialisation cache and would silently desynchronise the
     columns from the boxed-element view.
 
+``RLB006``
+    Code under ``recovery/`` must not construct physical operators
+    directly — a restored plan must come out of ``PhysicalBuilder`` (or
+    the service registry, which delegates to it) so it is structurally
+    identical to the plan the snapshot was taken from.  A hand-built
+    operator would bypass fusion/columnar decisions and the verifier,
+    silently breaking the restore-time plan match.
+
 Run locally or in CI::
 
     PYTHONPATH=src python -m repro.analysis.lint [paths...]
@@ -93,6 +101,32 @@ COLUMN_INTERNALS = frozenset({"_starts", "_ends", "_rows", "_flags", "_cached"})
 #: Directory (path component) exempt from RLB005: the layer that owns
 #: the columnar layout.
 COLUMN_SCOPE_EXEMPT = ("temporal",)
+
+#: Physical operator classes recovery code must not construct (RLB006);
+#: plan construction is ``PhysicalBuilder``'s monopoly.
+OPERATOR_CLASSES = frozenset(
+    {
+        "Aggregate",
+        "Coalesce",
+        "CountWindow",
+        "Difference",
+        "DuplicateElimination",
+        "FusedStateless",
+        "HashJoin",
+        "NestedLoopsJoin",
+        "NowWindow",
+        "Project",
+        "Router",
+        "Select",
+        "Split",
+        "TimeWindow",
+        "UnboundedWindow",
+        "Union",
+    }
+)
+
+#: Directory (path component) in which RLB006 applies.
+RECOVERY_SCOPE = ("recovery",)
 
 
 @dataclass(frozen=True)
@@ -264,6 +298,39 @@ def _kernel_input_findings(tree: ast.AST, path: str) -> List[LintFinding]:
     return findings
 
 
+def _operator_construction_findings(tree: ast.AST, path: str) -> List[LintFinding]:
+    """RLB006: recovery code must not construct operators directly.
+
+    Flags any call whose callee name (plain or attribute) is a physical
+    operator class.  Name-based, like the rest of this linter: the
+    operator class names are unique in the codebase, and a false match on
+    a same-named helper is the conservative direction for recovery code.
+    """
+    findings: List[LintFinding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        callee = node.func
+        name = None
+        if isinstance(callee, ast.Attribute):
+            name = callee.attr
+        elif isinstance(callee, ast.Name):
+            name = callee.id
+        if name in OPERATOR_CLASSES:
+            findings.append(
+                LintFinding(
+                    path,
+                    node.lineno,
+                    "RLB006",
+                    f"recovery code constructs operator {name}() directly: "
+                    "restored plans must come out of PhysicalBuilder so "
+                    "they are structurally identical to the checkpointed "
+                    "plan (fusion/columnar decisions included)",
+                )
+            )
+    return findings
+
+
 def _column_internal_findings(tree: ast.AST, path: str) -> List[LintFinding]:
     """RLB005: no column-internal attribute access outside ``temporal/``.
 
@@ -342,6 +409,8 @@ class Linter:
             findings.extend(_kernel_input_findings(tree, path))
             if not any(scope in parts for scope in COLUMN_SCOPE_EXEMPT):
                 findings.extend(_column_internal_findings(tree, path))
+            if any(scope in parts for scope in RECOVERY_SCOPE):
+                findings.extend(_operator_construction_findings(tree, path))
             for cls in classes:
                 findings.extend(self._class_findings(path, cls))
         return findings

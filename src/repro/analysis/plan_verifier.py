@@ -193,6 +193,42 @@ def _columnar_state_diagnostic(op: object, label: str) -> Optional[Diagnostic]:
     )
 
 
+def _checkpoint_state_diagnostic(
+    op: object, classification: OperatorClassification
+) -> Optional[Diagnostic]:
+    """CKP001: stateful operators must drain and seed symmetrically.
+
+    The crash-recovery subsystem serializes operator state through the
+    same ``state_of_port`` / ``seed_state`` pair GenMig's Moving States
+    uses; a stateful operator missing either hook makes every plan that
+    contains it non-checkpointable (the CheckpointManager refuses at
+    runtime with a :class:`~repro.recovery.errors.RecoveryError`).  This
+    generalizes CLS003 from columnar state to all stateful operators;
+    columnar operators are CLS003's business and are skipped here.
+    """
+    if not classification.stateful:
+        return None
+    if getattr(op, "columnar_state", False):
+        return None
+    has_drain = callable(getattr(op, "state_of_port", None))
+    has_seed = callable(getattr(op, "seed_state", None))
+    if has_drain and has_seed:
+        return None
+    if has_drain != has_seed:
+        missing = "seed_state" if has_drain else "state_of_port"
+        detail = f"has {'state_of_port' if has_drain else 'seed_state'} but lacks {missing}"
+    else:
+        detail = "lacks both state_of_port and seed_state"
+    return Diagnostic(
+        WARNING,
+        "CKP001",
+        f"stateful operator {detail}: its state cannot be drained and "
+        "seeded symmetrically, so plans containing it are not "
+        "checkpointable (and Moving States cannot migrate it)",
+        operator=classification.label,
+    )
+
+
 def classify_operator(op: object) -> Tuple[OperatorClassification, Optional[Diagnostic]]:
     """Classify one physical operator.
 
@@ -752,6 +788,9 @@ def verify_box(box: "Box") -> PlanVerdict:
         classifications.append(classification)
         if diag is not None:
             diagnostics.append(diag)
+        ckp = _checkpoint_state_diagnostic(op, classification)
+        if ckp is not None:
+            diagnostics.append(ckp)
 
     # Wiring sanity: every input port of every operator must be fed by a
     # tap or an upstream subscription, exactly once.

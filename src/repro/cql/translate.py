@@ -72,6 +72,10 @@ class Catalog:
         except KeyError:
             raise TranslationError(f"unknown stream {name!r}") from None
 
+    def schemas(self) -> Dict[str, Tuple[str, ...]]:
+        """All registered schemas, name → columns (a copy)."""
+        return dict(self._schemas)
+
     def __contains__(self, name: str) -> bool:
         return name in self._schemas
 

@@ -160,3 +160,17 @@ class OutputGate:
         """Forward progress information to every sink."""
         for sink in self._sinks:
             sink.process_heartbeat(t)
+
+    def progress_state(self) -> dict:
+        """Capture delivery counters for a checkpoint."""
+        return {
+            "last_start": self._last_start,
+            "delivered": self.delivered,
+            "order_violations": self.order_violations,
+        }
+
+    def restore_progress(self, progress: dict) -> None:
+        """Re-install counters captured by :meth:`progress_state`."""
+        self._last_start = progress["last_start"]
+        self.delivered = progress["delivered"]
+        self.order_violations = progress["order_violations"]

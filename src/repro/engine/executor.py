@@ -22,6 +22,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from ..operators import base as _operator_base
 from ..operators.base import NULL_METER, CostMeter, Operator
 from ..operators.window import TimeWindow
+from ..recovery.errors import RecoveryError
 from ..streams.stream import PhysicalStream
 from ..temporal.batch import Batch
 from ..temporal.columnar import ColumnarBatch
@@ -263,7 +264,7 @@ class QueryExecutor:
         (all watermarks pass ``T_split``).
         """
         if self._finished:
-            raise RuntimeError("executor can only run once")
+            raise RecoveryError("executor can only run once")
         if batch_size is None:
             batch_size = self.batch_size
         if batch_size < 1:
@@ -430,7 +431,7 @@ class QueryExecutor:
         order; ``global_heartbeats`` additionally requires global order.
         """
         if self._finished:
-            raise RuntimeError("executor already finished")
+            raise RecoveryError("executor already finished")
         if name not in self._window_ops:
             raise KeyError(f"unknown source {name!r}")
         if self.global_heartbeats and element.start < self.clock:
@@ -453,7 +454,7 @@ class QueryExecutor:
         run take the amortised batch path through the plan.
         """
         if self._finished:
-            raise RuntimeError("executor already finished")
+            raise RecoveryError("executor already finished")
         if name not in self._window_ops:
             raise KeyError(f"unknown source {name!r}")
         first = batch.first_start
@@ -492,6 +493,127 @@ class QueryExecutor:
             )
         self._sample_metrics()
         self._finished = True
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint / restore
+    # ------------------------------------------------------------------ #
+
+    def quiesce_for_checkpoint(self) -> None:
+        """Verify the executor sits at a consistent cut, or refuse loudly.
+
+        A cut is consistent between ingestion turns when no migration is
+        in flight (migration strategies hold auxiliary operators outside
+        the box) and no actions are pending (scheduled actions are
+        closures, which no snapshot format can serialize faithfully).
+        """
+        if self._finished:
+            raise RecoveryError("cannot checkpoint a finished executor")
+        if self.strategy is not None:
+            raise RecoveryError(
+                "cannot checkpoint while a migration is in flight: wait for "
+                f"{self.strategy!r} to complete"
+            )
+        if self._actions:
+            raise RecoveryError(
+                f"cannot checkpoint with {len(self._actions)} scheduled "
+                "action(s) pending: actions are closures and cannot be "
+                "serialized"
+            )
+
+    def checkpoint_state(self) -> dict:
+        """Capture everything needed to rebuild this executor elsewhere.
+
+        Operator state leaves through the GenMig drain hooks
+        (``state_of_port``), exactly the boundary Moving States already
+        trusts; a stateful operator lacking the hooks makes the plan
+        non-checkpointable and raises — the same condition verifier check
+        CKP001 flags statically.
+        """
+        self.quiesce_for_checkpoint()
+        operators = []
+        for op in self.box.operators:
+            record: Dict[str, object] = {
+                "type": type(op).__name__,
+                "name": op.name,
+                "progress": op.progress_state(),
+            }
+            drain = getattr(op, "state_of_port", None)
+            seed = getattr(op, "seed_state", None)
+            if callable(drain) and callable(seed):
+                record["ports"] = [list(drain(port)) for port in range(op.arity)]
+            elif type(op).state_elements is not Operator.state_elements:
+                raise RecoveryError(
+                    f"operator {op.name!r} ({type(op).__name__}) holds state "
+                    "but lacks the state_of_port/seed_state drain hooks — "
+                    "the plan is not checkpointable (verifier check CKP001)"
+                )
+            else:
+                record["ports"] = None
+            extras = getattr(op, "checkpoint_extras", None)
+            if callable(extras):
+                record["extras"] = extras()
+            operators.append(record)
+        return {
+            "clock": self.clock,
+            "source_watermarks": dict(self.source_watermarks),
+            "source_max_ends": dict(self.source_max_ends),
+            "source_seen": dict(self.source_seen),
+            "last_bucket": self._last_bucket,
+            "meter": {
+                "total": self.meter.total,
+                "by_category": dict(self.meter.by_category),
+            },
+            "gate": self.gate.progress_state(),
+            "operators": operators,
+        }
+
+    def restore_checkpoint(self, state: dict) -> None:
+        """Seed a freshly built executor from :meth:`checkpoint_state`.
+
+        The executor must be untouched (same plan, nothing ingested); the
+        box is expected to be structurally identical to the checkpointed
+        one — same operators in the same discovery order — which holds
+        whenever both were built by ``PhysicalBuilder`` from the same
+        logical plan.  Progress is restored before state is seeded: the
+        seeding hooks of Aggregate/Difference derive their finalisation
+        frontiers from the purged watermark.
+        """
+        if (
+            self.clock != MIN_TIME
+            or any(self.source_seen.values())
+            or self._finished
+            or self.strategy is not None
+            or self.gate.delivered
+        ):
+            raise RecoveryError("can only restore into a fresh executor")
+        records = state["operators"]
+        if len(records) != len(self.box.operators):
+            raise RecoveryError(
+                f"snapshot has {len(records)} operators, the rebuilt plan "
+                f"has {len(self.box.operators)}: the plans differ"
+            )
+        for op, record in zip(self.box.operators, records):
+            if record["type"] != type(op).__name__ or record["name"] != op.name:
+                raise RecoveryError(
+                    f"snapshot operator {record['name']!r} ({record['type']}) "
+                    f"does not match rebuilt operator {op.name!r} "
+                    f"({type(op).__name__}): the plans differ"
+                )
+            op.restore_progress(record["progress"])
+            if record["ports"] is not None:
+                for port, elements in enumerate(record["ports"]):
+                    op.seed_state(port, list(elements))
+            extras = record.get("extras")
+            if extras is not None:
+                op.restore_extras(extras)
+        self.clock = state["clock"]
+        self.source_watermarks = dict(state["source_watermarks"])
+        self.source_max_ends = dict(state["source_max_ends"])
+        self.source_seen = dict(state["source_seen"])
+        self._last_bucket = state["last_bucket"]
+        self.meter.total = state["meter"]["total"]
+        self.meter.by_category = dict(state["meter"]["by_category"])
+        self.gate.restore_progress(state["gate"])
 
     _last_bucket: Optional[int] = None
 

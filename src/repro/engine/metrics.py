@@ -135,6 +135,41 @@ class MetricsRecorder:
         return self.series.dense(self.series.results, fill=None)
 
     # ------------------------------------------------------------------ #
+    # Checkpoint support
+    # ------------------------------------------------------------------ #
+
+    def epoch_state(self) -> dict:
+        """Capture the recorder's accumulated series for a checkpoint.
+
+        The kernel-cache baseline is *not* captured: it anchors process-
+        lifetime counters that do not survive a restart, so a restored
+        recorder re-baselines against the new process.
+        """
+        return {
+            "bucket_size": self.series.bucket_size,
+            "output": dict(self.series.output),
+            "memory": dict(self.series.memory),
+            "cost": dict(self.series.cost),
+            "results": dict(self.series.results),
+            "cumulative_results": self._cumulative_results,
+            "events": [dict(event) for event in self.events],
+        }
+
+    def restore_epoch(self, state: dict) -> None:
+        """Re-install a series epoch captured by :meth:`epoch_state`."""
+        if state["bucket_size"] != self.series.bucket_size:
+            raise ValueError(
+                f"metrics epoch has bucket_size {state['bucket_size']}, "
+                f"recorder uses {self.series.bucket_size}"
+            )
+        self.series.output = dict(state["output"])
+        self.series.memory = dict(state["memory"])
+        self.series.cost = dict(state["cost"])
+        self.series.results = dict(state["results"])
+        self._cumulative_results = state["cumulative_results"]
+        self.events = [dict(event) for event in state["events"]]
+
+    # ------------------------------------------------------------------ #
     # Persistence
     # ------------------------------------------------------------------ #
 

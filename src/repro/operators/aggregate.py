@@ -191,6 +191,25 @@ class Aggregate(StatefulOperator):
     def state_elements(self) -> Iterator[StreamElement]:
         return iter(self._open)
 
+    def state_of_port(self, port: int) -> List[StreamElement]:
+        """The open (not yet finalised) elements — the drain hook."""
+        self._check_port(port)
+        return list(self._open)
+
+    def seed_state(self, port: int, elements: List[StreamElement]) -> None:
+        """Replace the open state wholesale — the seed hook.
+
+        The finalisation frontier resumes at the purged watermark: the
+        two trail each other in lock-step (``_on_watermark`` runs exactly
+        when the purge watermark moves), so a restored operator must have
+        ``restore_progress`` applied first.
+        """
+        self._check_port(port)
+        area = SweepArea(self._retention)
+        area.replace(elements)
+        self._open = area
+        self._frontier = self._purged_watermark
+
 
 def _merge_adjacent(results: List[StreamElement]) -> List[StreamElement]:
     """Merge equal-payload results whose segments are adjacent.

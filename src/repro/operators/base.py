@@ -366,6 +366,51 @@ class Operator:
         if SANITIZER is not None:
             SANITIZER.on_advance(self)
 
+    # ------------------------------------------------------------------ #
+    # Checkpoint support
+    # ------------------------------------------------------------------ #
+
+    def progress_state(self) -> dict:
+        """Capture the operator's temporal progress for a checkpoint.
+
+        Covers the machinery every operator shares — per-port watermarks,
+        the emitted/purged progress marks, and staged-but-unreleased
+        output in heap pop order.  Operator-specific state travels
+        separately through ``state_of_port``/``seed_state``.
+        """
+        staged = [entry[2] for entry in sorted(self._heap)]
+        return {
+            "watermarks": list(self._watermarks),
+            "emitted_watermark": self._emitted_watermark,
+            "purged_watermark": self._purged_watermark,
+            "staged": staged,
+        }
+
+    def restore_progress(self, progress: dict) -> None:
+        """Re-install progress captured by :meth:`progress_state`.
+
+        Must run *before* ``seed_state`` on a freshly built operator:
+        seeding hooks derive their internal frontiers from the purged
+        watermark set here.  Staged elements re-enter the heap with fresh
+        sequence numbers in their original pop order, so release order is
+        identical to the uninterrupted run.
+        """
+        watermarks = progress["watermarks"]
+        if len(watermarks) != self.arity:
+            raise ValueError(
+                f"{self.name}: progress has {len(watermarks)} watermarks "
+                f"for arity {self.arity}"
+            )
+        self._watermarks = list(watermarks)
+        self._emitted_watermark = progress["emitted_watermark"]
+        self._purged_watermark = progress["purged_watermark"]
+        self._heap = []
+        self._sequence = itertools.count()
+        self._staged_values = 0
+        for element in progress["staged"]:
+            heapq.heappush(self._heap, (element.start, next(self._sequence), element))
+            self._staged_values += len(element.payload)
+
     #: True while :meth:`flush` drains staged output unconditionally; the
     #: sanitizer suspends its emission-order checks for the drain (there is
     #: no more input to order against).

@@ -137,6 +137,59 @@ class Difference(StatefulOperator):
             yield from left
             yield from right
 
+    def state_of_port(self, port: int) -> List[StreamElement]:
+        """The not-yet-finalised elements of one input side — the drain hook."""
+        self._check_port(port)
+        return [element for sides in self._state.values() for element in sides[port]]
+
+    def seed_state(self, port: int, elements: List[StreamElement]) -> None:
+        """Replace one side's state wholesale — the seed hook.
+
+        Finalisation resumes at the purged watermark (see
+        :meth:`Aggregate.seed_state` for the lock-step argument), so
+        ``restore_progress`` must run first.
+        """
+        self._check_port(port)
+        for payload, sides in self._state.items():
+            self._drop(list(sides[port]))
+            fresh = SweepArea(self._retention)
+            self._state[payload] = (fresh, sides[1]) if port == 0 else (sides[0], fresh)
+        for element in elements:
+            sides = self._state.get(element.payload)
+            if sides is None:
+                sides = (SweepArea(self._retention), SweepArea(self._retention))
+                self._state[element.payload] = sides
+            area = sides[port]
+            area.insert(element)
+            heapq.heappush(
+                self._expiry_heap,
+                (area.expiry_of(element), next(self._seq), element.payload),
+            )
+            self._values += len(element.payload)
+        for payload in [p for p, s in self._state.items() if not s[0] and not s[1]]:
+            del self._state[payload]
+        self._frontier = self._purged_watermark
+
+    def checkpoint_extras(self) -> dict:
+        """Non-element state a drain/seed round-trip cannot preserve.
+
+        ``_finalise`` iterates the payload dict, so first-touch insertion
+        order determines the staging order of equal-start results across
+        payloads; a checkpoint must record it to restore byte-identical
+        output.
+        """
+        return {"payload_order": list(self._state.keys())}
+
+    def restore_extras(self, extras: dict) -> None:
+        """Re-impose the recorded payload first-touch order after seeding."""
+        ordered: Dict[Payload, Tuple[SweepArea, SweepArea]] = {}
+        for payload in extras["payload_order"]:
+            sides = self._state.pop(payload, None)
+            if sides is not None:
+                ordered[payload] = sides
+        ordered.update(self._state)
+        self._state = ordered
+
 
 def _merge_copies(results: List[StreamElement]) -> List[StreamElement]:
     """Merge adjacent equal-payload segments, respecting multiplicities.

@@ -104,3 +104,33 @@ class DuplicateElimination(StatefulOperator):
                     yield StreamElement(payload, TimeInterval(watermark, interval.end))
                 else:
                     yield StreamElement(payload, interval)
+
+    def state_of_port(self, port: int) -> List[StreamElement]:
+        """The watermark-truncated coverage — the drain hook."""
+        self._check_port(port)
+        return list(self.state_elements())
+
+    def seed_state(self, port: int, elements: List[StreamElement]) -> None:
+        """Rebuild per-payload coverage from drained elements — the seed hook.
+
+        Seeded intervals are already watermark-truncated (the drain view
+        cut them), so subtraction and expiry behave as if this operator
+        had processed the original input itself.
+        """
+        self._check_port(port)
+        self._coverage = {}
+        self._expiry_heap = []
+        self._seq = itertools.count()
+        self._values = 0
+        for element in elements:
+            covered = self._coverage.get(element.payload)
+            if covered is None:
+                covered = IntervalSet()
+                self._coverage[element.payload] = covered
+            before = len(covered)
+            covered.add(element.interval)
+            self._values += (len(covered) - before) * len(element.payload)
+            heapq.heappush(
+                self._expiry_heap,
+                (element.interval.end, next(self._seq), element.payload),
+            )

@@ -7,6 +7,8 @@ stages output and releases it by watermark like any stateful operator.
 
 from __future__ import annotations
 
+from typing import List
+
 from ..temporal.element import StreamElement
 from .base import StatefulOperator
 
@@ -20,3 +22,15 @@ class Union(StatefulOperator):
     def _on_element(self, element: StreamElement, port: int) -> None:
         self.meter.charge(1, "union")
         self._stage(element)
+
+    def state_of_port(self, port: int) -> List[StreamElement]:
+        """Union holds no per-port state; the staged merge heap is the
+        only memory, and that travels via ``progress_state``."""
+        self._check_port(port)
+        return []
+
+    def seed_state(self, port: int, elements: List[StreamElement]) -> None:
+        """Accept (only) an empty seed, for drain/seed symmetry."""
+        self._check_port(port)
+        if elements:
+            raise ValueError(f"{self.name} holds no per-port state to seed")

@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..recovery.errors import RecoveryError
 from ..temporal.element import Payload, PNElement
 from ..temporal.time import EPSILON, MAX_TIME, Time
 from .operators import PNCollector, PNOperator, PNWindow
@@ -241,7 +242,9 @@ def run_pn_migration(
     for window_op in window_ops.values():
         window_op.process_heartbeat(MAX_TIME, 0)
     if t_split is None:
-        raise ValueError("the input ended before the migration could be triggered")
+        raise RecoveryError(
+            "the input ended before the migration could be triggered"
+        )
     if completed_at is None:
         completed_at = max(last_seen.values())
 

@@ -1,0 +1,36 @@
+"""Typed failures of the crash-recovery subsystem.
+
+Recovery errors follow the loud-failure convention the benchmark harness
+established: a checkpoint that cannot be taken, a snapshot that cannot be
+trusted or a disordered arrival that exceeds its slack must surface as a
+*typed* exception the caller can catch deliberately — never as silent
+corruption, a bare ``assert`` (stripped under ``python -O``) or an
+anonymous ``RuntimeError``.
+
+This module imports nothing from the rest of the package so the engine
+and service layers can raise these types without import cycles.
+"""
+
+from __future__ import annotations
+
+
+class RecoveryError(RuntimeError):
+    """A checkpoint, restore or replay operation cannot proceed safely.
+
+    Subclasses ``RuntimeError`` so legacy callers that guarded the
+    executor's replay paths with ``except RuntimeError`` keep working.
+    """
+
+
+class SnapshotFormatError(RecoveryError):
+    """A snapshot file is malformed, corrupted or of an unknown version."""
+
+
+class DisorderError(RecoveryError):
+    """An arrival's disorder exceeds the admission buffer's slack bound.
+
+    Raised by :class:`repro.recovery.disorder.DisorderBuffer` when an
+    element starts below the reorder frontier: admitting it would force
+    the hub to violate global start order, so the element is rejected
+    loudly instead of corrupting downstream snapshots silently.
+    """

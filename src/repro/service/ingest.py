@@ -13,8 +13,9 @@ ever deliver before ``t``.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional
+from typing import Callable, Dict, Iterable, Optional
 
+from ..recovery.errors import RecoveryError
 from ..temporal.batch import Batch
 from ..temporal.element import StreamElement, element
 from ..temporal.time import MIN_TIME, Time
@@ -28,6 +29,10 @@ class IngestHub:
         self.registry = registry
         self.clock: Time = MIN_TIME
         self.published = 0
+        #: Per-source count of elements published so far.  A checkpoint
+        #: records these offsets; replay-after-restore skips exactly this
+        #: many elements of each source's feed.
+        self.offsets: Dict[str, int] = {}
         #: Invoked with the hub clock after every publish/advance; the
         #: autonomic controller hooks its consideration rounds in here.
         self.on_progress: Optional[Callable[[Time], None]] = None
@@ -60,6 +65,7 @@ class IngestHub:
                 for name in executor.sources:
                     executor.advance(name, item.start)
         self.published += 1
+        self.offsets[source] = self.offsets.get(source, 0) + 1
         self._progress()
         return delivered
 
@@ -94,6 +100,7 @@ class IngestHub:
                 for name in executor.sources:
                     executor.advance(name, batch.watermark)
         self.published += len(batch)
+        self.offsets[source] = self.offsets.get(source, 0) + len(batch)
         self._progress()
         return delivered
 
@@ -106,6 +113,22 @@ class IngestHub:
             for name in handle.executor.sources:
                 handle.executor.advance(name, t)
         self._progress()
+
+    def rewind(self, clock: Time, published: int, offsets: Dict[str, int]) -> None:
+        """Fast-forward a *fresh* hub to a checkpoint's ingestion position.
+
+        Only a hub that has never published may be rewound — rewinding a
+        live hub would desynchronise it from its executors' watermarks —
+        so restore builds a new service and calls this before replay.
+        """
+        if self.published or self.clock != MIN_TIME or self.offsets:
+            raise RecoveryError(
+                "can only rewind a fresh hub: this one has already published "
+                f"{self.published} elements (clock {self.clock})"
+            )
+        self.clock = clock
+        self.published = published
+        self.offsets = dict(offsets)
 
     def finish(self) -> None:
         """End the session: drain every executor, complete all migrations."""

@@ -63,6 +63,12 @@ class RegisteredQuery:
         self.metrics = metrics
         self.events = QueryEventLog(name, recorder=metrics)
         self.state = ACTIVE
+        #: The CQL text this query was registered with, when it was
+        #: registered as text.  A checkpoint stores it so restore can
+        #: recompile the identical logical plan; ``Query``-object
+        #: registrations leave it ``None`` and restore needs the caller
+        #: to re-supply the object.
+        self.cql: Optional[str] = None
         #: The plan a currently in-flight migration is moving to.
         self.pending_plan: Optional[LogicalPlan] = None
         #: Application time the last migration completed (cooldown anchor).
@@ -136,9 +142,11 @@ class QueryRegistry:
         """Register a query under ``name`` and build its executor."""
         if name in self._queries:
             raise ValueError(f"a query named {name!r} is already registered")
+        cql_text: Optional[str] = None
         if isinstance(query, str):
             if self.catalog is None:
                 raise ValueError("registering CQL text requires a catalog")
+            cql_text = query
             query = compile_query(
                 query,
                 self.catalog,
@@ -156,6 +164,7 @@ class QueryRegistry:
         sink = CollectorSink()
         executor.add_sink(sink)
         handle = RegisteredQuery(name, query, executor, sink, recorder)
+        handle.cql = cql_text
         self._queries[name] = handle
         return handle
 

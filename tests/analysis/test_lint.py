@@ -1,4 +1,4 @@
-"""Tests for the project-specific AST lint rules (RLB001–RLB005)."""
+"""Tests for the project-specific AST lint rules (RLB001–RLB006)."""
 
 from pathlib import Path
 
@@ -179,6 +179,28 @@ class TestColumnInternalRule:
             "    return batch.starts, batch.ends, batch.rows, batch.flags\n"
         )
         assert lint_source(code, path="src/repro/operators/ok.py") == []
+
+
+class TestOperatorConstructionRule:
+    def test_direct_construction_flagged_in_recovery(self):
+        code = "def rebuild():\n    return HashJoin(lambda r: r[0], lambda r: r[0])\n"
+        findings = lint_source(code, path="src/repro/recovery/bad.py")
+        assert codes(findings) == ["RLB006"]
+        assert "PhysicalBuilder" in findings[0].message
+
+    def test_attribute_spelling_flagged(self):
+        code = "op = operators.Aggregate([count()])\n"
+        assert codes(lint_source(code, path="src/repro/recovery/bad.py")) == [
+            "RLB006"
+        ]
+
+    def test_builder_usage_allowed(self):
+        code = "box = builder.build(plan, label='restored/0')\n"
+        assert lint_source(code, path="src/repro/recovery/restore.py") == []
+
+    def test_other_layers_exempt(self):
+        code = "op = Aggregate([count()])\n"
+        assert lint_source(code, path="src/repro/plans/physical.py") == []
 
 
 class TestWholeTree:

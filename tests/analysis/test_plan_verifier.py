@@ -288,6 +288,53 @@ class TestOperatorClassification:
         assert diagnostic.severity == WARNING
         assert "state_of_port" in diagnostic.message
 
+    def test_stateful_operator_without_state_hooks_is_not_checkpointable(self):
+        class Opaque(Operator):
+            migration_profile = "general"
+
+            def _on_element(self, element, port):
+                self._emit(element)
+
+            def state_elements(self):
+                return iter(())
+
+        from repro.analysis import classify_operator
+        from repro.analysis.plan_verifier import (
+            WARNING,
+            _checkpoint_state_diagnostic,
+        )
+
+        classification, _ = classify_operator(Opaque())
+        diagnostic = _checkpoint_state_diagnostic(Opaque(), classification)
+        assert diagnostic is not None and diagnostic.code == "CKP001"
+        assert diagnostic.severity == WARNING
+        assert "checkpointable" in diagnostic.message
+
+    def test_asymmetric_state_hooks_are_flagged(self):
+        class DrainOnly(Operator):
+            migration_profile = "general"
+
+            def _on_element(self, element, port):
+                self._emit(element)
+
+            def state_of_port(self, port):
+                return []
+
+        from repro.analysis import classify_operator
+        from repro.analysis.plan_verifier import _checkpoint_state_diagnostic
+
+        classification, _ = classify_operator(DrainOnly())
+        diagnostic = _checkpoint_state_diagnostic(DrainOnly(), classification)
+        assert diagnostic is not None and diagnostic.code == "CKP001"
+        assert "lacks seed_state" in diagnostic.message
+
+    def test_builtin_stateful_operators_are_checkpointable(self):
+        # Every stateful operator the builder can emit drains and seeds:
+        # no CKP001 on any built plan.
+        for node in (JoinNode(A, B, AB), DistinctNode(JoinNode(A, B, AB))):
+            verdict = verify_box(build(node))
+            assert not [d for d in verdict.diagnostics if d.code == "CKP001"]
+
     def test_columnar_hash_join_passes_drainability_check(self):
         # The real columnar join materialises its struct-of-arrays state
         # through state_of_port/seed_state, so no CLS003.

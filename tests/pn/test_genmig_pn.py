@@ -116,8 +116,10 @@ class TestSplitTimeAndAccounting:
         assert report.old_rejected >= 0
 
     def test_migration_requires_data_after_trigger(self):
+        from repro.recovery import RecoveryError
+
         raws = {"A": [positive(1, 0)], "B": [positive(1, 1)]}
-        with pytest.raises(ValueError):
+        with pytest.raises(RecoveryError):
             run_pn_migration(raws, WINDOWS, join_only_box(), join_only_box(),
                              migrate_at=100)
 

@@ -1,0 +1,195 @@
+"""Tests for the slack-bounded reordering buffer at the ingestion edge."""
+
+import random
+
+import pytest
+
+from repro import Catalog
+from repro.recovery import DisorderBuffer, DisorderError
+from repro.service import ContinuousQueryService
+from repro.service.controller import ControllerPolicy
+from repro.temporal import element
+from repro.temporal.time import MIN_TIME
+
+
+class FakeHub:
+    """Records what the buffer forwards; mimics the IngestHub interface."""
+
+    def __init__(self):
+        self.clock = MIN_TIME
+        self.pushed = []
+        self.advances = []
+
+    def push(self, source, item):
+        assert item.start >= self.clock, "buffer released out of order"
+        self.clock = item.start
+        self.pushed.append((source, item))
+
+    def advance(self, t):
+        assert t >= self.clock, "buffer punctuated backwards"
+        self.clock = t
+        self.advances.append(t)
+
+
+def feed_of(starts, source="s"):
+    return [(source, element((start,), start, start + 1)) for start in starts]
+
+
+class TestReordering:
+    def test_ordered_input_passes_through(self):
+        hub = FakeHub()
+        buffer = DisorderBuffer(hub, slack=5)
+        for source, item in feed_of([0, 1, 2, 7, 9]):
+            buffer.push(source, item)
+        buffer.flush()
+        assert [item.start for _, item in hub.pushed] == [0, 1, 2, 7, 9]
+        assert buffer.reordered == 0
+        assert buffer.admitted == 5
+
+    def test_within_slack_disorder_is_repaired(self):
+        hub = FakeHub()
+        buffer = DisorderBuffer(hub, slack=10)
+        for source, item in feed_of([5, 2, 8, 3, 11, 6]):
+            buffer.push(source, item)
+        buffer.flush()
+        assert [item.start for _, item in hub.pushed] == [2, 3, 5, 6, 8, 11]
+        assert buffer.reordered == 3  # 2, 3 and 6 arrived late
+
+    def test_over_slack_arrival_raises(self):
+        hub = FakeHub()
+        buffer = DisorderBuffer(hub, slack=3)
+        buffer.publish("s", "a", 10)
+        with pytest.raises(DisorderError, match="exceeds the disorder slack"):
+            buffer.publish("s", "b", 6)  # frontier is 10 - 3 = 7
+
+    def test_zero_slack_accepts_only_ordered_input(self):
+        hub = FakeHub()
+        buffer = DisorderBuffer(hub, slack=0)
+        buffer.publish("s", "a", 4)
+        buffer.publish("s", "b", 4)  # ties are fine
+        with pytest.raises(DisorderError):
+            buffer.publish("s", "c", 3)
+
+    def test_negative_slack_rejected(self):
+        with pytest.raises(ValueError, match="slack"):
+            DisorderBuffer(FakeHub(), slack=-1)
+
+    def test_tied_starts_release_in_arrival_order(self):
+        hub = FakeHub()
+        buffer = DisorderBuffer(hub, slack=5)
+        for payload in ["first", "second", "third"]:
+            buffer.push("s", element((payload,), 3, 4))
+        buffer.flush()
+        assert [item.payload[0] for _, item in hub.pushed] == [
+            "first",
+            "second",
+            "third",
+        ]
+
+
+class TestFrontierAndPunctuation:
+    def test_frontier_trails_max_seen_by_slack(self):
+        buffer = DisorderBuffer(FakeHub(), slack=4)
+        assert buffer.frontier == MIN_TIME
+        buffer.publish("s", "a", 10)
+        assert buffer.frontier == 6
+
+    def test_elements_are_held_until_the_frontier_clears_them(self):
+        hub = FakeHub()
+        buffer = DisorderBuffer(hub, slack=5)
+        buffer.publish("s", "a", 3)
+        assert hub.pushed == [] and buffer.pending == 1
+        buffer.publish("s", "b", 9)  # frontier 4 releases the element at 3
+        assert [item.start for _, item in hub.pushed] == [3]
+        assert buffer.pending == 1
+
+    def test_frontier_is_punctuated_to_the_hub(self):
+        hub = FakeHub()
+        buffer = DisorderBuffer(hub, slack=5)
+        buffer.publish("s", "a", 20)
+        # The element itself is still buffered, but downstream already
+        # knows nothing can arrive before 15.
+        assert hub.pushed == []
+        assert hub.advances and hub.advances[-1] == 15
+        assert hub.clock == 15
+
+    def test_transport_promise_raises_the_frontier(self):
+        hub = FakeHub()
+        buffer = DisorderBuffer(hub, slack=100)
+        buffer.publish("s", "a", 10)
+        assert buffer.pending == 1
+        buffer.advance(11)
+        assert [item.start for _, item in hub.pushed] == [10]
+        assert buffer.frontier == 11
+
+    def test_promises_never_regress(self):
+        buffer = DisorderBuffer(FakeHub(), slack=0)
+        buffer.advance(50)
+        buffer.advance(30)
+        assert buffer.frontier == 50
+
+    def test_flush_empties_the_buffer(self):
+        hub = FakeHub()
+        buffer = DisorderBuffer(hub, slack=1000)
+        for source, item in feed_of([9, 4, 7, 1]):
+            buffer.push(source, item)
+        assert buffer.pending == 4
+        buffer.flush()
+        assert buffer.pending == 0
+        assert [item.start for _, item in hub.pushed] == [1, 4, 7, 9]
+
+
+class TestEndToEnd:
+    CQL = (
+        "SELECT * FROM bids [RANGE 50], asks [RANGE 50] "
+        "WHERE bids.item = asks.item"
+    )
+
+    def make_service(self):
+        service = ContinuousQueryService(
+            catalog=Catalog({"bids": ("item", "price"), "asks": ("item", "price")}),
+            policy=ControllerPolicy(period=10**9),
+        )
+        service.register("q", self.CQL)
+        return service
+
+    def ordered_feed(self, length=120):
+        return [
+            (
+                "bids" if i % 2 == 0 else "asks",
+                element((i % 5, i), i, i + 1),
+            )
+            for i in range(length)
+        ]
+
+    def test_shuffled_feed_equals_ordered_feed(self):
+        slack = 16
+        feed = self.ordered_feed()
+
+        baseline = self.make_service()
+        for source, item in feed:
+            baseline.hub.push(source, item)
+        baseline.finish()
+
+        rng = random.Random(7)
+        # Bounded shuffle: sort by start plus a jitter below the slack.
+        # An element at s can then only trail elements starting below
+        # s + slack, so every arrival clears the reorder frontier.
+        shuffled = sorted(feed, key=lambda pair: pair[1].start + rng.randrange(slack))
+        assert shuffled != feed  # the shuffle actually disturbed the order
+
+        subject = self.make_service()
+        buffer = DisorderBuffer(subject.hub, slack=slack)
+        for source, item in shuffled:
+            buffer.push(source, item)
+        buffer.flush()
+        subject.finish()
+
+        assert buffer.reordered > 0
+        base_handle = baseline.registry.get("q")
+        subject_handle = subject.registry.get("q")
+        assert subject_handle.results == base_handle.results
+        assert (
+            subject_handle.metrics.epoch_state()["cumulative_results"]
+            == base_handle.metrics.epoch_state()["cumulative_results"]
+        )
