@@ -35,6 +35,16 @@ hash-join tree, built once element-wise (``columnar=False``, the
 byte-identity oracle) and once with struct-of-arrays state and compiled
 probe kernels.  Outputs and meter totals of both modes are cross-checked
 in the same run; the ``columnar`` section records the same-run speedup.
+A fourth section measures *sharded execution*: the 4-way equi-join
+workload hash-partitioned across 1, 2 and 4 shard workers via
+``ShardedExecutor``, against a single-process run of the identical plan
+as the byte-identity oracle.  The sweep forces nested-loops joins, whose
+probe cost is linear in live state — so each worker scanning only its
+own ``state/N`` slice is an *algorithmic* N-fold cut in probe work that
+pays even on a single CPU (``cpu_count`` is recorded honestly alongside).
+A hash-join variant of the same workload additionally cross-checks that
+``MetricsRecorder.aggregate`` over the per-shard recorders reproduces
+the single-process meter exactly, category by category.
 Every scenario additionally reports p50/p95/p99 per-element ingestion
 latency over its timed window — for ``genmig_inflight``, that is the
 per-element latency *during* the migration's parallel phase.
@@ -68,7 +78,13 @@ sys.path.insert(
 )
 
 from repro.core import GenMig  # noqa: E402
-from repro.engine import Box, MetricsRecorder, QueryExecutor  # noqa: E402
+from repro.engine import (  # noqa: E402
+    Box,
+    MetricsRecorder,
+    QueryExecutor,
+    ShardedExecutor,
+)
+from repro.engine.transport import LocalTransport  # noqa: E402
 from repro.operators import CostMeter, NestedLoopsJoin  # noqa: E402
 from repro.plans import (  # noqa: E402
     Arithmetic,
@@ -85,6 +101,7 @@ from repro.plans import (  # noqa: E402
     clear_kernel_cache,
     kernel_cache_stats,
 )
+from repro.plans.logical import Query  # noqa: E402
 from repro.streams import CollectorSink, PhysicalStream  # noqa: E402
 from repro.temporal import Batch, element  # noqa: E402
 
@@ -571,6 +588,214 @@ def run_recovery_scenario(config: RecoveryConfig) -> Dict[str, object]:
     }
 
 
+# --------------------------------------------------------------------- #
+# Sharded execution
+# --------------------------------------------------------------------- #
+
+
+SHARD_SWEEP = (1, 2, 4)
+
+#: The shard sweep's own configuration: a larger window than the hotpath
+#: scenarios so live nested-loops state (and with it the per-element probe
+#: scan) dominates the per-element orchestration overhead of routing,
+#: batching and the ordered merge.  ``migrate_at`` is unused here.
+SHARD_FULL = HotpathConfig(
+    count=1600, rate=4, window=400, migrate_at=0,
+    measure_start=150, measure_end=380, domain=4096, bucket=50,
+)
+
+SHARD_SMOKE = HotpathConfig(
+    count=480, rate=4, window=120, migrate_at=0,
+    measure_start=45, measure_end=110, domain=512, bucket=20,
+)
+
+
+def _shard_value(i: int, s: int, domain: int) -> int:
+    """Join-key value for element ``i`` of stream ``s``: mostly misses.
+
+    The plain Knuth mix keeps the four streams disjoint (the multiplier
+    is odd, so the distinct residues ``i * 4 + s`` never collide modulo a
+    power-of-two domain) — every probe is a full state scan producing
+    nothing, which is exactly the scan-bound workload the sweep wants.
+    Every 16th element each stream emits one "hot" key from a small
+    shared cycle instead, so the 4-way join does deliver rows and the
+    byte-identity oracle compares real output, not two empty lists.
+    """
+    if i % 16 == s * len(STREAMS):
+        return (i // 16) % 64
+    return ((i * len(STREAMS) + s) * _MIX) % domain
+
+
+def make_shard_batches(config: HotpathConfig) -> List[Tuple[str, Batch]]:
+    """Per-(chronon, source) runs with single-column tuple payloads.
+
+    The shard router partitions on a payload *column*, so unlike
+    :func:`make_events` the values are wrapped in 1-tuples — the same
+    row shape the relational hash-join scenarios consume.
+    """
+    per_chronon: Dict[Tuple[int, str], List[object]] = {}
+    for i in range(config.count):
+        t = i // config.rate
+        for s, name in enumerate(STREAMS):
+            item = element((_shard_value(i, s, config.domain),), t, t + 1)
+            per_chronon.setdefault((t, name), []).append(item)
+    return [
+        (name, Batch(per_chronon[(t, name)], source=name))
+        for t, name in sorted(
+            per_chronon, key=lambda k: (k[0], STREAMS.index(k[1]))
+        )
+    ]
+
+
+def run_shard_scenario(
+    config: HotpathConfig, shards: int, nested_loops: bool = True
+) -> Tuple[Dict[str, object], List, Dict[str, object]]:
+    """The 4-way equi-join workload under ``shards`` workers.
+
+    ``shards == 0`` runs the identical physical plan in one plain
+    ``QueryExecutor`` — the byte-identity oracle for the sweep.  With
+    ``nested_loops`` the equi-conditions are forced onto nested-loops
+    joins whose probe cost is linear in live state: hash-partitioning
+    then cuts total probe work N-fold *algorithmically*, which is why
+    the sweep shows a throughput win even on a one-CPU host.
+
+    Returns ``(result, outputs, meter)`` with ``meter`` carrying
+    ``total`` and ``by_category``; for the sharded runs it is the
+    ``MetricsRecorder.aggregate`` of the per-worker recorders.
+    """
+    builder = {"force_nested_loops": True} if nested_loops else {}
+    windows = {name: config.window for name in STREAMS}
+    sink = CollectorSink()
+    if shards == 0:
+        executor = QueryExecutor(
+            {name: PhysicalStream([], name) for name in STREAMS},
+            windows,
+            PhysicalBuilder(**builder).build(hash_join_plan()),
+            meter=CostMeter(),
+        )
+    else:
+        executor = ShardedExecutor(
+            Query(hash_join_plan(), windows),
+            shards,
+            transport=LocalTransport(),
+            builder_config=builder,
+            batch_size=config.rate,
+            bucket_size=config.bucket,
+        )
+    executor.add_sink(sink)
+
+    feed = make_shard_batches(config)
+    timed_elements = 0
+    timed_seconds = 0.0
+    started: Optional[float] = None
+    for name, batch in feed:
+        t = batch.first_start
+        if started is None and t >= config.measure_start:
+            started = time.perf_counter()
+        if started is not None and timed_seconds == 0.0 and t >= config.measure_end:
+            timed_seconds = time.perf_counter() - started
+        executor.push_batch(name, batch)
+        if started is not None and timed_seconds == 0.0:
+            timed_elements += len(batch)
+    if started is not None and timed_seconds == 0.0:
+        timed_seconds = time.perf_counter() - started
+    executor.finish()
+
+    if shards == 0:
+        meter: Dict[str, object] = {
+            "total": executor.meter.total,
+            "by_category": dict(sorted(executor.meter.by_category.items())),
+        }
+        delivered = executor.gate.delivered
+    else:
+        summary = executor.metrics_summary()
+        meter = {
+            "total": summary["meter"]["total"],
+            "by_category": dict(sorted(summary["meter"]["by_category"].items())),
+        }
+        delivered = sum(s["delivered"] for s in executor.shard_stats())
+        executor.close()
+
+    outputs = [(e.payload, e.start, e.end, e.flag) for e in sink.elements]
+    result: Dict[str, object] = {
+        "shards": shards,
+        "nested_loops": nested_loops,
+        "elements_timed": timed_elements,
+        "seconds": round(timed_seconds, 6),
+        "elements_per_sec": round(timed_elements / timed_seconds, 1),
+        "results_delivered": delivered,
+        "meter_total": meter["total"],
+    }
+    return result, outputs, meter
+
+
+def run_shard_sweep(config: HotpathConfig) -> Dict[str, object]:
+    """The full sharding section: NL sweep + hash-join meter cross-check.
+
+    The byte-identity of every sharded run against the single-process
+    oracle is the section's hard correctness gate; the probe-work column
+    shows the N-fold state-scan cut that produces the speedup.
+    """
+    oracle, oracle_outputs, oracle_meter = run_shard_scenario(config, 0)
+    print(
+        f"{'shard oracle':16s} shards=1proc "
+        f"{oracle['elements_per_sec']:>12.1f} elements/sec "
+        f"({oracle['elements_timed']} elements in {oracle['seconds']:.3f} s, "
+        f"probe work {oracle['meter_total']})"
+    )
+    sweep: Dict[str, float] = {}
+    speedup: Dict[str, float] = {}
+    probe_work: Dict[str, int] = {"single_process": oracle_meter["total"]}
+    outputs_match = True
+    for shards in SHARD_SWEEP:
+        result, outputs, meter = run_shard_scenario(config, shards)
+        matched = outputs == oracle_outputs
+        outputs_match = outputs_match and matched
+        sweep[str(shards)] = result["elements_per_sec"]
+        probe_work[str(shards)] = meter["total"]
+        if shards > 1:
+            speedup[str(shards)] = round(
+                result["elements_per_sec"] / oracle["elements_per_sec"], 2
+            )
+        print(
+            f"{'sharded_nl':16s} shards={shards:<5d} "
+            f"{result['elements_per_sec']:>12.1f} elements/sec "
+            f"({result['elements_timed']} elements in {result['seconds']:.3f} s, "
+            f"probe work {meter['total']}, outputs match: {matched})"
+        )
+
+    # Hash joins probe per key, so shard workers together do exactly the
+    # single-process work — the aggregated meter must reproduce it to the
+    # unit, category by category (grouped finalisation and NL scans are
+    # the two documented exceptions; neither is in this plan).
+    _, hash_single_outputs, hash_single_meter = run_shard_scenario(
+        config, 0, nested_loops=False
+    )
+    _, hash_sharded_outputs, hash_sharded_meter = run_shard_scenario(
+        config, 2, nested_loops=False
+    )
+    meter_exact = hash_sharded_meter == hash_single_meter
+    hash_match = hash_sharded_outputs == hash_single_outputs
+    print(
+        f"{'sharded_hash':16s} shards=2     meter aggregation exact: "
+        f"{meter_exact}, outputs match: {hash_match}"
+    )
+
+    return {
+        "cpu_count": os.cpu_count(),
+        "transport": "local",
+        "plan": "4-way nested-loops equi-join",
+        "config": asdict(config),
+        "single_process_elements_per_sec": oracle["elements_per_sec"],
+        "sweep": sweep,
+        "speedup": speedup,
+        "probe_work": probe_work,
+        "outputs_match": outputs_match and hash_match,
+        "meter_aggregation_exact": meter_exact,
+        "results_delivered": oracle["results_delivered"],
+    }
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -726,6 +951,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"results match: {recovery['results_match']}"
     )
 
+    # Sharded execution: the N-fold probe-work cut of hash partitioning,
+    # byte-checked against the single-process oracle in the same run.
+    sharding = run_shard_sweep(SHARD_SMOKE if args.smoke else SHARD_FULL)
+    report["sharding"] = sharding
+    print(
+        f"{'sharding':16s} speedup "
+        + ", ".join(f"N={n} {s:.2f}x" for n, s in sharding["speedup"].items())
+        + f", outputs match: {sharding['outputs_match']}, "
+        f"meter aggregation exact: {sharding['meter_aggregation_exact']} "
+        f"({sharding['cpu_count']} cpu)"
+    )
+
     if baseline is not None:
         comparison = {}
         for key, result in report["scenarios"].items():
@@ -830,6 +1067,40 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"[{status}]"
             )
             failed = failed or ratio < args.min_ratio
+        # Sharding's hard gate is byte identity: the merged sharded output
+        # must equal the single-process run's, and the aggregated shard
+        # meters must reproduce the single-process hash-join meter exactly.
+        # The speedup itself is gated like columnar: same-run ratio when
+        # the modes match, and cross-mode only the demand that sharding
+        # still beats single-process at the widest sweep point (the win
+        # grows with state size, so a smoke run cannot be held to a full
+        # capture's ratio).
+        if not report["sharding"]["outputs_match"]:
+            print("sharding          merged output diverged from single process [REGRESSION]")
+            failed = True
+        if not report["sharding"]["meter_aggregation_exact"]:
+            print("sharding          aggregated shard meters diverged [REGRESSION]")
+            failed = True
+        committed_sharding = regress.get("sharding")
+        widest = str(max(SHARD_SWEEP))
+        if committed_sharding and report["mode"] == regress.get("mode"):
+            committed_speedup = committed_sharding["speedup"].get(widest)
+            if committed_speedup:
+                ratio = report["sharding"]["speedup"][widest] / committed_speedup
+                status = "ok" if ratio >= args.min_ratio else "REGRESSION"
+                print(
+                    f"{'sharding speedup':16s} {ratio:.2f}x of committed "
+                    f"({committed_speedup}x at N={widest}) [{status}]"
+                )
+                failed = failed or ratio < args.min_ratio
+        else:
+            speedup = report["sharding"]["speedup"][widest]
+            status = "ok" if speedup > 1.0 else "REGRESSION"
+            print(
+                f"{'sharding speedup':16s} {speedup:.2f}x this run at "
+                f"N={widest} (cross-mode) [{status}]"
+            )
+            failed = failed or speedup <= 1.0
         if failed:
             print(f"throughput fell below {args.min_ratio:.2f}x of {args.regress}")
             return 1

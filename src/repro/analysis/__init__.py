@@ -44,6 +44,7 @@ from .sanitizer import (
     sanitized,
     uninstall,
 )
+from .sharding import ShardingPlan, classify_sharding
 
 __all__ = [
     "Diagnostic",
@@ -51,10 +52,12 @@ __all__ = [
     "OperatorClassification",
     "PlanVerdict",
     "SanitizerViolation",
+    "ShardingPlan",
     "SplitBound",
     "StrategyVerdict",
     "StreamSanitizer",
     "classify_logical",
+    "classify_sharding",
     "classify_operator",
     "ensure_installed",
     "figure2_plans",

@@ -51,6 +51,16 @@ dependency — ``ruff``/``mypy`` run additionally in CI):
     operator would bypass fusion/columnar decisions and the verifier,
     silently breaking the restore-time plan match.
 
+``RLB007``
+    Process and thread primitives (``multiprocessing``, ``threading``,
+    ``concurrent.futures``, ``subprocess``, ``os.fork``/``os.pipe``/
+    ``os.exec*``) are importable only inside ``engine/transport.py`` —
+    the single module that owns cross-process plumbing.  Everywhere else
+    the engine must stay a deterministic single-threaded simulator that
+    reaches other shards exclusively through the ``Transport``
+    abstraction; a stray ``Process``/``Thread`` elsewhere would smuggle
+    scheduling nondeterminism past the snapshot-equivalence oracle.
+
 Run locally or in CI::
 
     PYTHONPATH=src python -m repro.analysis.lint [paths...]
@@ -127,6 +137,22 @@ OPERATOR_CLASSES = frozenset(
 
 #: Directory (path component) in which RLB006 applies.
 RECOVERY_SCOPE = ("recovery",)
+
+#: Modules whose import is a process/thread primitive (RLB007).
+PROCESS_MODULES = frozenset(
+    {"multiprocessing", "threading", "concurrent.futures", "subprocess", "_thread"}
+)
+
+#: ``os`` attributes that spawn processes or raw pipes (RLB007); plain
+#: ``os.environ``/``os.path`` use stays legal everywhere.
+PROCESS_OS_ATTRS = frozenset(
+    {"fork", "forkpty", "pipe", "pipe2", "popen", "posix_spawn", "posix_spawnp"}
+    | {f"exec{s}" for s in ("l", "le", "lp", "lpe", "v", "ve", "vp", "vpe")}
+    | {f"spawn{s}" for s in ("l", "le", "lp", "lpe", "v", "ve", "vp", "vpe")}
+)
+
+#: The one module allowed to touch process primitives (RLB007).
+TRANSPORT_MODULE = ("engine", "transport.py")
 
 
 @dataclass(frozen=True)
@@ -357,6 +383,58 @@ def _column_internal_findings(tree: ast.AST, path: str) -> List[LintFinding]:
     return findings
 
 
+def _process_primitive_findings(tree: ast.AST, path: str) -> List[LintFinding]:
+    """RLB007: process/thread primitives live in ``engine/transport.py`` only.
+
+    Flags ``import multiprocessing``-style statements (module or
+    ``from``-import, submodules included) and ``os.fork()``-family calls.
+    Import detection is static and unconditional — even an import inside
+    a function body or ``TYPE_CHECKING`` block is flagged, because the
+    capability itself is what the Transport abstraction quarantines.
+    """
+
+    def module_hit(module: str) -> Optional[str]:
+        for banned in PROCESS_MODULES:
+            if module == banned or module.startswith(banned + "."):
+                return banned
+        return None
+
+    findings: List[LintFinding] = []
+    for node in ast.walk(tree):
+        hit: Optional[str] = None
+        line = getattr(node, "lineno", 0)
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                hit = module_hit(alias.name)
+                if hit:
+                    break
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            hit = module_hit(node.module)
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "os"
+            and node.func.attr in PROCESS_OS_ATTRS
+        ):
+            hit = f"os.{node.func.attr}"
+        if hit is not None:
+            findings.append(
+                LintFinding(
+                    path,
+                    line,
+                    "RLB007",
+                    f"process primitive {hit!r} outside engine/transport.py: "
+                    "cross-process plumbing is the Transport abstraction's "
+                    "monopoly — everywhere else the engine is a deterministic "
+                    "single-threaded simulator, and a stray process/thread "
+                    "would smuggle scheduling nondeterminism past the "
+                    "snapshot-equivalence oracle",
+                )
+            )
+    return findings
+
+
 # --------------------------------------------------------------------- #
 # The linter
 # --------------------------------------------------------------------- #
@@ -411,6 +489,8 @@ class Linter:
                 findings.extend(_column_internal_findings(tree, path))
             if any(scope in parts for scope in RECOVERY_SCOPE):
                 findings.extend(_operator_construction_findings(tree, path))
+            if parts[-2:] != TRANSPORT_MODULE:
+                findings.extend(_process_primitive_findings(tree, path))
             for cls in classes:
                 findings.extend(self._class_findings(path, cls))
         return findings

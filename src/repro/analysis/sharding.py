@@ -1,0 +1,380 @@
+"""Shardability classification: can a plan run hash-partitioned, and how.
+
+``ShardedExecutor`` (``engine/sharded.py``) runs N shared-nothing copies of
+a plan and routes each source row to one shard by hashing a *routing
+column*.  That is only byte-identical to the single-process run when every
+keyed stateful operator sees all rows it would have matched — this module
+decides, statically, whether a plan has that property and derives the
+routing/state-key tables the router and the checkpoint re-partitioner use.
+
+The analysis is a bottom-up *column provenance* pass — every output
+position of every node is mapped to the set of ``(source, raw_index)``
+origins it can carry — combined with a union-find over those origins in
+which each equi-join condition merges its two key columns' origin sets
+into one *routing class*.  A class induces a routing column per source;
+co-location then follows from value equality:
+
+* a **hash/equi join** is correct when both inputs route by its key class
+  (rows that could match carry equal key values, hence hash alike);
+* a **grouped aggregate** at the root is correct when some group column's
+  origins lie inside the routing class covering *all* sources below it —
+  equal group keys then imply equal class values, so a group never spans
+  shards;
+* **duplicate elimination / difference** at the root are correct when the
+  whole payload determines the class value (some payload position carries
+  it on every path), so equal payloads land on one shard.
+
+Diagnostics follow the verifier's conventions (`plan_verifier.Diagnostic`):
+
+* **SHD001** — an operator is *global-only*: no key exists that partitions
+  its state (non-equi or cross joins, ungrouped aggregation).
+* **SHD002** — the operators are keyed but the plan cannot be routed:
+  a watermark-driven emitter (aggregate / distinct / difference) sits
+  below the root, a key is not traceable to source columns, two classes
+  claim different routing columns of one source, or no payload position
+  covers every source.
+
+``mode`` distinguishes plans whose output depends only on the input
+*elements* ("eager": joins, unions, stateless chains — results release in
+the action that produced them) from plans whose output also depends on
+the exact *watermark sequence* ("strict": a grouped aggregate, distinct
+or difference root, which finalises per watermark movement).  Strict
+plans need the router to broadcast every new start timestamp to all
+shards before delivering the element, so each shard chops time into the
+same segments the single-process run would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
+
+from ..plans.expressions import Field as FieldExpr
+from ..plans.logical import (
+    AggregateNode,
+    DifferenceNode,
+    DistinctNode,
+    JoinNode,
+    LogicalPlan,
+    ProjectNode,
+    Query,
+    SelectNode,
+    Source,
+    UnionNode,
+)
+from .plan_verifier import Diagnostic
+
+#: One provenance atom: ``(source_name, raw_column_index)``.
+Origin = Tuple[str, int]
+#: Per output position, the origins it can carry (empty = computed value).
+Origins = List[FrozenSet[Origin]]
+
+
+@dataclass(frozen=True)
+class ShardingPlan:
+    """The result of :func:`classify_sharding`.
+
+    ``routing`` maps each source name to the raw column index whose value
+    hashes to the owning shard.  ``state_keys`` maps a *physical operator
+    name* (as ``PhysicalBuilder`` will name it) to one key index per input
+    port — the position, within a drained state row of that port, that
+    recovers the routing value; ``None`` for a port whose state needs no
+    re-partitioning.  ``root_key`` is the analogous position for staged
+    output rows of the root operator (only duplicate elimination can hold
+    deferred staged output across a quiesced cut).
+    """
+
+    shardable: bool
+    mode: str  # "eager" | "strict"
+    routing: Dict[str, int] = field(default_factory=dict)
+    state_keys: Dict[str, Tuple[Optional[int], ...]] = field(default_factory=dict)
+    root_key: Optional[int] = None
+    diagnostics: Tuple[Diagnostic, ...] = ()
+
+    def explain(self) -> str:
+        """Human-readable summary of why the plan is (not) shardable."""
+        if self.shardable:
+            keys = ", ".join(f"{s}[{i}]" for s, i in sorted(self.routing.items()))
+            return f"shardable ({self.mode}); routing by {keys or 'n/a'}"
+        return "; ".join(f"{d.code}: {d.message}" for d in self.diagnostics)
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self._parent: Dict[Origin, Origin] = {}
+
+    def find(self, item: Origin) -> Origin:
+        parent = self._parent.setdefault(item, item)
+        while parent != item:
+            self._parent[item] = parent = self._parent.setdefault(parent, parent)
+            item, parent = parent, self._parent[parent]
+        return item
+
+    def union(self, a: Origin, b: Origin) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[ra] = rb
+
+    def members(self) -> Dict[Origin, List[Origin]]:
+        groups: Dict[Origin, List[Origin]] = {}
+        for item in list(self._parent):
+            groups.setdefault(self.find(item), []).append(item)
+        return groups
+
+
+class _Analysis:
+    def __init__(self) -> None:
+        self.diagnostics: List[Diagnostic] = []
+        self.classes = _UnionFind()
+        self.constrained: List[Origin] = []
+        #: (physical join names, left child key position, right child key position)
+        self.joins: List[Tuple[Tuple[str, ...], int, int, Origin]] = []
+
+    def error(self, code: str, message: str, operator: Optional[str] = None) -> None:
+        self.diagnostics.append(Diagnostic("error", code, message, operator))
+
+    # ---------------------------------------------------------------- #
+    # Provenance walk
+    # ---------------------------------------------------------------- #
+
+    def walk(self, node: LogicalPlan) -> Origins:
+        """Provenance of every node strictly *below* the plan root.
+
+        Watermark-driven emitters reached here are below the root by
+        construction (``classify_sharding`` peels the root emitter before
+        walking), which is never shardable: their release timing follows
+        the watermark sequence, and only the root merge stage can
+        reproduce that across shards.
+        """
+        if isinstance(node, Source):
+            return [frozenset({(node.name, i)}) for i in range(len(node.schema))]
+        if isinstance(node, SelectNode):
+            return self.walk(node.child)
+        if isinstance(node, ProjectNode):
+            child = self.walk(node.child)
+            schema = list(node.child.schema)
+            out: Origins = []
+            for expression, _name in node.outputs:
+                if isinstance(expression, FieldExpr):
+                    out.append(child[schema.index(expression.name)])
+                else:
+                    out.append(frozenset())
+            return out
+        if isinstance(node, UnionNode):
+            left = self.walk(node.left)
+            right = self.walk(node.right)
+            return [l | r for l, r in zip(left, right)]
+        if isinstance(node, JoinNode):
+            return self._walk_join(node)
+        if isinstance(node, (AggregateNode, DistinctNode, DifferenceNode)):
+            label = {
+                AggregateNode: "aggregate",
+                DistinctNode: "distinct",
+                DifferenceNode: "difference",
+            }[type(node)]
+            self.error(
+                "SHD002",
+                f"{label} below the plan root: its output follows the "
+                "watermark sequence, which only the root merge stage can "
+                "reproduce across shards",
+                label,
+            )
+            for child in node.children:
+                self.walk(child)
+            return [frozenset()] * len(node.schema)
+        raise TypeError(f"cannot analyse logical node {type(node).__name__}")
+
+    def _walk_join(self, node: JoinNode) -> Origins:
+        left = self.walk(node.left)
+        right = self.walk(node.right)
+        equi = node.equi_columns()
+        if equi is None:
+            label = "cross-join" if node.condition is None else f"nl-join[{node.condition!r}]"
+            self.error(
+                "SHD001",
+                "only equi-joins are key-shardable; a "
+                + ("cross product" if node.condition is None else "non-equi predicate")
+                + " can match rows with unequal keys across shards",
+                label,
+            )
+            return left + right
+        left_column, right_column = equi
+        lpos = node.left.schema.index(left_column)
+        rpos = node.right.schema.index(right_column)
+        key_origins = left[lpos] | right[rpos]
+        if not left[lpos] or not right[rpos]:
+            self.error(
+                "SHD002",
+                f"join key {left_column}={right_column} is not traceable to "
+                "source columns (computed key): rows cannot be routed",
+                f"hash-join[{left_column}={right_column}]",
+            )
+            return left + right
+        anchor = next(iter(key_origins))
+        for origin in key_origins:
+            self.classes.union(anchor, origin)
+            self.constrained.append(origin)
+        names = (
+            f"hash-join[{left_column}={right_column}]",
+            f"nl-join[{node.condition!r}]",
+        )
+        self.joins.append((names, lpos, rpos, anchor))
+        return left + right
+
+
+def classify_sharding(query: Union[Query, LogicalPlan]) -> ShardingPlan:
+    """Classify ``query`` as key-shardable or global-only.
+
+    Returns a :class:`ShardingPlan`; ``shardable`` is ``False`` when any
+    SHD001/SHD002 diagnostic fired, with the reasons in ``diagnostics``.
+    """
+    plan = query.plan if isinstance(query, Query) else query
+    analysis = _Analysis()
+    # Peel the root: a watermark-driven emitter is permitted there (and
+    # only there); the provenance walk covers everything below it.
+    if isinstance(plan, AggregateNode):
+        if not plan.group_by:
+            analysis.error(
+                "SHD001",
+                "ungrouped aggregation folds the whole stream: global-only, "
+                "no key partitions its state",
+                "aggregate",
+            )
+        origins = analysis.walk(plan.child)
+    elif isinstance(plan, DistinctNode):
+        origins = analysis.walk(plan.child)
+    elif isinstance(plan, DifferenceNode):
+        left = analysis.walk(plan.left)
+        right = analysis.walk(plan.right)
+        origins = [l | r for l, r in zip(left, right)]
+    else:
+        origins = analysis.walk(plan)
+    sources = list(dict.fromkeys(plan.sources()))
+
+    # --- resolve per-source routing columns from the join classes -------- #
+    routing: Dict[str, int] = {}
+    class_of: Dict[str, Origin] = {}
+    for origin in analysis.constrained:
+        source_name, index = origin
+        root = analysis.classes.find(origin)
+        if source_name in routing:
+            if routing[source_name] != index or class_of[source_name] != root:
+                analysis.error(
+                    "SHD002",
+                    f"source {source_name!r} would need to route by both "
+                    f"column {routing[source_name]} and column {index}: "
+                    "conflicting shard keys",
+                )
+        else:
+            routing[source_name] = index
+            class_of[source_name] = root
+
+    # --- joins must agree within one connected class each ---------------- #
+    state_keys: Dict[str, Tuple[Optional[int], ...]] = {}
+    for names, lpos, rpos, _anchor in analysis.joins:
+        for name in names:
+            state_keys[name] = (lpos, rpos)
+
+    # --- keyed roots: find the key position and finish the routing ------- #
+    root_key: Optional[int] = None
+    mode = "eager"
+    if isinstance(plan, AggregateNode) and plan.group_by:
+        mode = "strict"
+        child_schema = list(plan.child.schema)
+        position = _pick_key_position(
+            analysis,
+            [child_schema.index(column) for column in plan.group_by],
+            origins,
+            sources,
+            routing,
+            class_of,
+        )
+        if position is None:
+            analysis.error(
+                "SHD002",
+                "no GROUP BY column lies in the routing class covering every "
+                "source: a group could span shards and finalise twice",
+                "aggregate",
+            )
+        else:
+            name = f"aggregate[{','.join(s.output_name() for s in plan.aggregates)}]"
+            state_keys[name] = (position,)
+            root_key = plan.group_by.index(plan.child.schema[position])
+    elif isinstance(plan, (DistinctNode, DifferenceNode)):
+        mode = "strict"
+        width = len(origins)
+        position = _pick_key_position(
+            analysis, list(range(width)), origins, sources, routing, class_of
+        )
+        if position is None:
+            analysis.error(
+                "SHD002",
+                "no payload position carries the routing value on every path: "
+                "equal payloads could land on different shards",
+                "distinct" if isinstance(plan, DistinctNode) else "difference",
+            )
+        elif isinstance(plan, DistinctNode):
+            state_keys["distinct"] = (position,)
+            root_key = position
+        else:
+            state_keys["difference"] = (position, position)
+            root_key = position
+
+    if any(d.severity == "error" for d in analysis.diagnostics):
+        return ShardingPlan(
+            shardable=False,
+            mode=mode,
+            diagnostics=tuple(analysis.diagnostics),
+        )
+
+    for source_name in sources:
+        routing.setdefault(source_name, 0)
+    return ShardingPlan(
+        shardable=True,
+        mode=mode,
+        routing=routing,
+        state_keys=state_keys,
+        root_key=root_key,
+        diagnostics=tuple(analysis.diagnostics),
+    )
+
+
+def _pick_key_position(
+    analysis: _Analysis,
+    candidates: Sequence[int],
+    origins: Origins,
+    sources: Sequence[str],
+    routing: Dict[str, int],
+    class_of: Dict[str, Origin],
+) -> Optional[int]:
+    """Find a row position whose value determines the shard of every row.
+
+    With join classes present, the position must carry a class member on
+    some path and every source must already route within one single class
+    (equal values at the position then imply equal routing values).
+    Without joins, the position itself becomes the routing column: it must
+    carry exactly one origin per source, which the routing table adopts.
+    """
+    if analysis.constrained:
+        class_roots = {analysis.classes.find(anchor) for *_ignored, anchor in analysis.joins}
+        if len(class_roots) != 1 or set(routing) != set(sources):
+            return None
+        for position in candidates:
+            members = origins[position]
+            if members and all(
+                routing.get(source_name) == index for source_name, index in members
+            ):
+                return position
+        return None
+    for position in candidates:
+        members = origins[position]
+        per_source: Dict[str, int] = {}
+        ambiguous = False
+        for source_name, index in members:
+            if per_source.setdefault(source_name, index) != index:
+                ambiguous = True
+        if ambiguous or set(per_source) != set(sources):
+            continue
+        routing.update(per_source)
+        return position
+    return None

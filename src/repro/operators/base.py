@@ -98,7 +98,7 @@ class Operator:
         self._sinks: List[object] = []
         self._watermarks: List[Time] = [MIN_TIME] * arity
         self._ordered_output = ordered_output
-        self._heap: List[Tuple[Time, int, StreamElement]] = []
+        self._heap: List[Tuple[Time, object, int, StreamElement]] = []
         self._sequence = itertools.count()
         self._emitted_watermark: Time = MIN_TIME
         self._purged_watermark: Time = MIN_TIME
@@ -281,7 +281,7 @@ class Operator:
 
     def state_value_count_slow(self) -> int:
         """The pre-index count: recompute by iterating all held elements."""
-        staged = sum(len(e.payload) for _, _, e in self._heap)
+        staged = sum(len(entry[-1].payload) for entry in self._heap)
         return staged + sum(len(e.payload) for e in self.state_elements())
 
     # ------------------------------------------------------------------ #
@@ -324,10 +324,27 @@ class Operator:
         for sink in self._sinks:
             sink.process_heartbeat(t)
 
+    def _stage_key(self, element: StreamElement) -> object:
+        """Tie-break key among staged results with *equal* start timestamps.
+
+        The staged heap releases by ``(start, stage_key, sequence)``.  The
+        default key is a constant, so equal-start results come out in
+        insertion order — the historical behaviour.  Operators whose
+        equal-start output order is semantically arbitrary (snapshots are
+        unordered bags) may override this with a content key, making the
+        equal-start release order *canonical*: independent of arrival
+        interleaving, and therefore reproducible by merging the output of
+        hash-partitioned shards (see ``engine/sharded.py``).
+        """
+        return 0
+
     def _stage(self, element: StreamElement) -> None:
         """Queue ``element`` for ordered release (or emit now if stateless)."""
         if self._ordered_output:
-            heapq.heappush(self._heap, (element.start, next(self._sequence), element))
+            heapq.heappush(
+                self._heap,
+                (element.start, self._stage_key(element), next(self._sequence), element),
+            )
             self._staged_values += len(element.payload)
         else:
             self._emit(element)
@@ -356,7 +373,7 @@ class Operator:
         if self._ordered_output:
             heap = self._heap
             while heap and heap[0][0] <= watermark:
-                element = heapq.heappop(heap)[2]
+                element = heapq.heappop(heap)[-1]
                 self._staged_values -= len(element.payload)
                 self._emit(element)
         promise = self._output_watermark(watermark)
@@ -378,7 +395,7 @@ class Operator:
         output in heap pop order.  Operator-specific state travels
         separately through ``state_of_port``/``seed_state``.
         """
-        staged = [entry[2] for entry in sorted(self._heap)]
+        staged = [entry[-1] for entry in sorted(self._heap)]
         return {
             "watermarks": list(self._watermarks),
             "emitted_watermark": self._emitted_watermark,
@@ -408,7 +425,10 @@ class Operator:
         self._sequence = itertools.count()
         self._staged_values = 0
         for element in progress["staged"]:
-            heapq.heappush(self._heap, (element.start, next(self._sequence), element))
+            heapq.heappush(
+                self._heap,
+                (element.start, self._stage_key(element), next(self._sequence), element),
+            )
             self._staged_values += len(element.payload)
 
     #: True while :meth:`flush` drains staged output unconditionally; the
@@ -421,7 +441,7 @@ class Operator:
         self._draining = True
         try:
             while self._heap:
-                self._emit(heapq.heappop(self._heap)[2])
+                self._emit(heapq.heappop(self._heap)[-1])
             self._staged_values = 0
         finally:
             self._draining = False

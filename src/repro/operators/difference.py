@@ -104,6 +104,7 @@ class Difference(StatefulOperator):
         return self._values
 
     def _finalise(self, lo: Time, hi: Time) -> None:
+        staged: List[StreamElement] = []
         for payload, (left, right) in self._state.items():
             boundaries = {lo, hi}
             for e in left:
@@ -129,8 +130,17 @@ class Difference(StatefulOperator):
                 flag = merge_flags([e.flag for e in live_left])
                 for _ in range(surplus):
                     pending.append(StreamElement(payload, segment, flag))
-            for merged in _merge_copies(pending):
-                self._stage(merged)
+            staged.extend(_merge_copies(pending))
+        # Canonical cross-payload order: without it, equal-start results
+        # would be staged in payload first-touch order, which depends on
+        # arrival interleaving.  Snapshots are unordered bags, so sorting
+        # by content is snapshot-equivalent — and it makes the emission
+        # order reproducible by merging hash-partitioned shards.  The sort
+        # is stable, so equal copies of one payload keep their
+        # ``_merge_copies`` order.
+        staged.sort(key=lambda e: (e.start, e.end, repr(e.payload)))
+        for merged in staged:
+            self._stage(merged)
 
     def state_elements(self) -> Iterator[StreamElement]:
         for left, right in self._state.values():
@@ -173,10 +183,11 @@ class Difference(StatefulOperator):
     def checkpoint_extras(self) -> dict:
         """Non-element state a drain/seed round-trip cannot preserve.
 
-        ``_finalise`` iterates the payload dict, so first-touch insertion
-        order determines the staging order of equal-start results across
-        payloads; a checkpoint must record it to restore byte-identical
-        output.
+        ``_finalise`` iterates the payload dict in first-touch insertion
+        order.  Since the cross-payload content sort above, that order is
+        output-neutral — but it still fixes the iteration order of
+        ``state_elements``/``state_of_port`` drains, so a checkpoint
+        records it to keep subsequent checkpoints byte-stable.
         """
         return {"payload_order": list(self._state.keys())}
 

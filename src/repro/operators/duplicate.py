@@ -25,12 +25,21 @@ from ..temporal.element import Payload, StreamElement
 from ..temporal.interval import TimeInterval
 from ..temporal.intervalset import IntervalSet
 from ..temporal.time import Time
+from ..temporal.batch import Batch
 from . import sweep
-from .base import StatefulOperator
+from .base import Operator, StatefulOperator
 
 
 class DuplicateElimination(StatefulOperator):
     """Emit each payload's validity exactly once per snapshot."""
+
+    #: Remainders may be staged *ahead* of the watermark (a covered prefix
+    #: pushes the uncovered rest into the future), so equal-start deferred
+    #: releases exist here.  The amortised uniform-run batch path would
+    #: release them in heap order while the element path releases each in
+    #: its own advance (insertion order); with the content stage key below
+    #: those differ, so this operator keeps the exact element loop.
+    batch_fallback = True
 
     def __init__(self, name: str = "") -> None:
         super().__init__(arity=1, name=name or "distinct")
@@ -41,6 +50,15 @@ class DuplicateElimination(StatefulOperator):
         self._expiry_heap: List[Tuple[Time, int, Payload]] = []
         self._seq = itertools.count()
         self._values = 0
+
+    def process_batch(self, batch: Batch, port: int = 0) -> None:
+        Operator.process_batch(self, batch, port)
+
+    def _stage_key(self, element: StreamElement) -> object:
+        """Canonical equal-start order: snapshots are unordered, and no two
+        staged remainders share ``(start, end, payload)`` (coverage forbids
+        overlap), so ``(end, repr(payload))`` is a total content key."""
+        return (element.end, repr(element.payload))
 
     def _on_element(self, element: StreamElement, port: int) -> None:
         self.meter.charge(1, "distinct")

@@ -366,7 +366,7 @@ class HashJoin(_JoinBase):
                     stage(StreamElement(row, TimeInterval(s, e)))
             heap = self._heap
             while heap and heap[0][0] <= watermark:
-                element = heapq.heappop(heap)[2]
+                element = heapq.heappop(heap)[-1]
                 self._staged_values -= len(element.payload)
                 self._emit(element)
         promise = self._output_watermark(watermark)

@@ -75,6 +75,20 @@ class PhysicalBuilder:
         self.fuse = fuse
         self.columnar = columnar
 
+    def config(self) -> Dict[str, object]:
+        """The constructor arguments as a picklable dict.
+
+        Shard workers rebuild an identical builder from this on the other
+        side of a process boundary (``repro.engine.sharded``).
+        """
+        return {
+            "join_cost": self.join_cost,
+            "select_cost": self.select_cost,
+            "force_nested_loops": self.force_nested_loops,
+            "fuse": self.fuse,
+            "columnar": self.columnar,
+        }
+
     def build(self, plan: LogicalPlan, label: str = "") -> Box:
         """Compile ``plan`` into an executable :class:`Box`."""
         taps: Dict[str, List[InputPort]] = {}

@@ -69,6 +69,7 @@ class CheckpointManager:
                     "name": handle.name,
                     "cql": handle.cql,
                     "state": handle.state,
+                    "shards": getattr(handle, "shards", 1),
                     "plan_signature": handle.plan.signature(),
                     "last_migration_completed": handle.last_migration_completed,
                     "executor": _pack_executor_state(executor_state),
@@ -115,6 +116,14 @@ class CheckpointManager:
 
 
 def _pack_executor_state(state: dict) -> dict:
+    if state.get("sharded"):
+        # A sharded checkpoint wraps one per-shard executor state each;
+        # the router-level fields are already plain builtins.
+        packed = dict(state)
+        packed["shards"] = [
+            _pack_executor_state(shard_state) for shard_state in state["shards"]
+        ]
+        return packed
     packed = dict(state)
     packed["operators"] = [
         {

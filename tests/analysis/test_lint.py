@@ -203,6 +203,50 @@ class TestOperatorConstructionRule:
         assert lint_source(code, path="src/repro/plans/physical.py") == []
 
 
+class TestProcessPrimitiveRule:
+    def test_multiprocessing_import_flagged(self):
+        code = "import multiprocessing\n"
+        findings = lint_source(code, path="src/repro/engine/executor.py")
+        assert codes(findings) == ["RLB007"]
+        assert "Transport abstraction" in findings[0].message
+
+    def test_submodule_and_from_imports_flagged(self):
+        for code in (
+            "import multiprocessing.connection\n",
+            "from multiprocessing import Process\n",
+            "from concurrent.futures import ThreadPoolExecutor\n",
+            "import threading\n",
+            "import subprocess\n",
+        ):
+            assert codes(lint_source(code, path="src/repro/service/hub.py")) == [
+                "RLB007"
+            ], code
+
+    def test_function_local_import_flagged(self):
+        code = "def launch():\n    import multiprocessing\n"
+        assert codes(lint_source(code, path="src/repro/engine/sharded.py")) == [
+            "RLB007"
+        ]
+
+    def test_os_fork_family_flagged(self):
+        code = "import os\n\ndef spawn():\n    return os.fork()\n"
+        assert codes(lint_source(code, path="src/repro/recovery/x.py")) == [
+            "RLB007"
+        ]
+
+    def test_transport_module_exempt(self):
+        code = (
+            "import multiprocessing\n"
+            "import threading\n"
+            "from multiprocessing import Pipe\n"
+        )
+        assert lint_source(code, path="src/repro/engine/transport.py") == []
+
+    def test_plain_os_use_allowed(self):
+        code = "import os\nsanitize = os.environ.get('REPRO_SANITIZE')\n"
+        assert lint_source(code, path="src/repro/engine/executor.py") == []
+
+
 class TestWholeTree:
     def test_src_tree_is_clean(self):
         src = Path(__file__).resolve().parents[2] / "src" / "repro"

@@ -1,0 +1,296 @@
+"""The sharded executor: construction gates, elastic restore, batching.
+
+The byte-identity oracle lives in ``tests/property/test_shard_equivalence``;
+this suite covers everything around it — the shardability gate at
+construction, checkpointing under ``N`` shards and restoring under
+``M != N`` (both directions, plus scale-out of a plain single-process
+checkpoint), coalesced batch ingestion, the observability surface the
+service layer consumes, and the failure modes (stale restore targets,
+out-of-order pushes, finished executors).
+"""
+
+import pytest
+
+from repro.engine import QueryExecutor, ShardedExecutor, shard_of
+from repro.engine.transport import LocalTransport
+from repro.plans import (
+    AggregateNode,
+    AggregateSpec,
+    Comparison,
+    Field,
+    JoinNode,
+    PhysicalBuilder,
+    ProjectNode,
+    Source,
+)
+from repro.plans.logical import DistinctNode, Query
+from repro.recovery.errors import RecoveryError
+from repro.streams import CollectorSink
+from repro.streams.stream import PhysicalStream
+from repro.temporal import element
+from repro.temporal.batch import Batch
+
+A = Source("A", ["k", "v"])
+B = Source("B", ["k"])
+WINDOWS = {"A": 12, "B": 12}
+
+
+def join_query():
+    return Query(
+        JoinNode(A, B, Comparison("=", Field("A.k"), Field("B.k"))), WINDOWS
+    )
+
+
+def grouped_agg_query():
+    return Query(
+        AggregateNode(
+            A, [AggregateSpec("sum", "A.v"), AggregateSpec("count")],
+            group_by=["A.k"],
+        ),
+        {"A": 12},
+    )
+
+
+def feed(used=("A", "B"), length=60):
+    deltas = [0, 1, 0, 0, 2, 1, 0, 1]
+    t, out = 0, []
+    for i in range(length):
+        t += deltas[i % len(deltas)]
+        source = used[i % len(used)]
+        key = (i * 7 + i // 3) % 5
+        payload = (key, i % 9) if source == "A" else (key,)
+        out.append((source, element(payload, t, t + 1)))
+    return out
+
+
+def run_single(query, events):
+    box = PhysicalBuilder().build(query.plan)
+    executor = QueryExecutor(
+        {s: PhysicalStream(name=s) for s in query.windows},
+        dict(query.windows),
+        box,
+    )
+    sink = CollectorSink()
+    executor.add_sink(sink)
+    for source, item in events:
+        executor.push(source, item)
+    executor.finish()
+    return [(e.payload, e.start, e.end, e.flag) for e in sink.elements]
+
+
+def make_sharded(query, shards, **kwargs):
+    executor = ShardedExecutor(
+        query, shards, transport=LocalTransport(), **kwargs
+    )
+    sink = CollectorSink()
+    executor.add_sink(sink)
+    return executor, sink
+
+
+def collected(sink):
+    return [(e.payload, e.start, e.end, e.flag) for e in sink.elements]
+
+
+class TestConstructionGate:
+    def test_global_only_plan_is_rejected(self):
+        """An ungrouped aggregate folds the whole stream: no key
+        partitions its state, so construction fails with the sharding
+        analysis's own explanation (SHD001)."""
+        query = Query(AggregateNode(A, [AggregateSpec("count")]), {"A": 12})
+        with pytest.raises(ValueError, match="SHD001"):
+            ShardedExecutor(query, 2, transport=LocalTransport())
+
+    def test_non_equi_join_is_rejected(self):
+        query = Query(
+            JoinNode(A, B, Comparison("<", Field("A.k"), Field("B.k"))),
+            WINDOWS,
+        )
+        with pytest.raises(ValueError, match="not key-shardable"):
+            ShardedExecutor(query, 2, transport=LocalTransport())
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="shards"):
+            ShardedExecutor(join_query(), 0, transport=LocalTransport())
+        with pytest.raises(ValueError, match="pipeline_depth"):
+            ShardedExecutor(
+                join_query(), 2, transport=LocalTransport(), pipeline_depth=0
+            )
+
+    def test_executor_surface_for_the_service_layer(self):
+        executor, _ = make_sharded(join_query(), 2)
+        # The duck-typed surface the hub/controller/checkpointer consume.
+        assert set(executor.sources) == {"A", "B"}
+        assert executor.migration_active is False
+        assert executor.strategy is None
+        assert executor.shard_count == 2
+        executor.close()
+        executor.close()  # idempotent
+
+
+class TestIngestion:
+    def test_out_of_order_push_rejected(self):
+        executor, _ = make_sharded(join_query(), 2)
+        executor.push("A", element((1, 1), 10, 11))
+        with pytest.raises(ValueError):
+            executor.push("B", element((1,), 5, 6))
+        executor.close()
+
+    def test_push_after_finish_rejected(self):
+        executor, _ = make_sharded(join_query(), 2)
+        executor.finish()
+        with pytest.raises(RecoveryError):
+            executor.push("A", element((1, 1), 0, 1))
+        executor.close()
+
+    def test_unknown_source_rejected(self):
+        executor, _ = make_sharded(join_query(), 2)
+        with pytest.raises(KeyError):
+            executor.push("Z", element((1,), 0, 1))
+        executor.close()
+
+    @pytest.mark.parametrize("query_builder", [join_query, grouped_agg_query])
+    def test_push_batch_coalescing_is_byte_identical(self, query_builder):
+        """Consecutive same-shard elements coalesce into one worker batch
+        command; the merged output must not notice."""
+        query = query_builder()
+        used = tuple(query.windows)
+        events = feed(used)
+        reference = run_single(query, events)
+        executor, sink = make_sharded(query, 3)
+        i = 0
+        while i < len(events):
+            source = events[i][0]
+            j = i
+            while j < len(events) and events[j][0] == source:
+                j += 1
+            run = [item for _, item in events[i:j]]
+            if len(run) == 1:
+                executor.push(source, run[0])
+            else:
+                executor.push_batch(source, Batch(run, source=source))
+            i = j
+        executor.finish()
+        executor.close()
+        assert collected(sink) == reference
+
+
+class TestElasticRestore:
+    """Checkpoint under N shards, restore under M != N: keyed state is
+    re-dealt by hash, and the tail of the feed completes byte-identically
+    to the uninterrupted single-process run."""
+
+    @pytest.mark.parametrize("n_old,n_new", [(3, 2), (2, 4), (4, 1)])
+    @pytest.mark.parametrize("query_builder", [join_query, grouped_agg_query])
+    def test_restore_into_different_shard_count(
+        self, query_builder, n_old, n_new
+    ):
+        query = query_builder()
+        used = tuple(query.windows)
+        events = feed(used)
+        reference = run_single(query, events)
+        cut = len(events) // 2
+
+        first, sink1 = make_sharded(query, n_old)
+        for source, item in events[:cut]:
+            first.push(source, item)
+        state = first.checkpoint_state()
+        first.close()
+        assert state["sharded"] is True
+        assert state["shard_count"] == n_old
+
+        second, sink2 = make_sharded(query, n_new)
+        second.restore_checkpoint(state)
+        for source, item in events[cut:]:
+            second.push(source, item)
+        second.finish()
+        second.close()
+        assert collected(sink1) + collected(sink2) == reference
+
+    def test_scale_out_a_single_process_checkpoint(self):
+        """A plain QueryExecutor checkpoint seeds a sharded deployment:
+        1 -> M is just another re-partitioning."""
+        query = join_query()
+        events = feed()
+        reference = run_single(query, events)
+        cut = len(events) // 2
+
+        box = PhysicalBuilder().build(query.plan)
+        single = QueryExecutor(
+            {s: PhysicalStream(name=s) for s in query.windows},
+            dict(query.windows),
+            box,
+        )
+        sink1 = CollectorSink()
+        single.add_sink(sink1)
+        for source, item in events[:cut]:
+            single.push(source, item)
+        state = single.checkpoint_state()
+
+        sharded, sink2 = make_sharded(query, 3)
+        sharded.restore_checkpoint(state)
+        for source, item in events[cut:]:
+            sharded.push(source, item)
+        sharded.finish()
+        sharded.close()
+        assert collected(sink1) + collected(sink2) == reference
+
+    def test_restore_requires_a_fresh_executor(self):
+        query = join_query()
+        executor, _ = make_sharded(query, 2)
+        for source, item in feed(length=8):
+            executor.push(source, item)
+        state = executor.checkpoint_state()
+        with pytest.raises(RecoveryError, match="fresh"):
+            executor.restore_checkpoint(state)
+        executor.close()
+
+    def test_checkpoint_after_finish_rejected(self):
+        executor, _ = make_sharded(join_query(), 2)
+        executor.finish()
+        with pytest.raises(RecoveryError):
+            executor.checkpoint_state()
+        executor.close()
+
+
+class TestObservability:
+    def test_shard_stats_and_state_counts(self):
+        query = join_query()
+        events = feed()
+        executor, sink = make_sharded(query, 3)
+        for source, item in events:
+            executor.push(source, item)
+        executor.finish()
+        stats = executor.shard_stats()
+        assert len(stats) == 3
+        assert sum(s["delivered"] for s in stats) == len(sink.elements)
+        # Drained after finish: the windows have all expired.
+        assert executor.state_value_count() == sum(
+            s["state_values"] for s in stats
+        )
+        executor.close()
+
+    def test_metrics_summary_sums_worker_recorders(self):
+        query = join_query()
+        events = feed()
+        executor, sink = make_sharded(query, 2)
+        for source, item in events:
+            executor.push(source, item)
+        executor.finish()
+        summary = executor.metrics_summary()
+        assert summary["shards"] == 2
+        assert sum(summary["output"]) == len(sink.elements)
+        assert summary["meter"]["total"] > 0
+        executor.close()
+
+    def test_distinct_keys_spread_across_shards(self):
+        """crc32 partitioning actually spreads a small key domain: with 5
+        keys and 4 shards at least two shards hold state mid-stream."""
+        query = Query(DistinctNode(ProjectNode(A, [(Field("A.k"), "k")])), {"A": 12})
+        assert len({shard_of((k,), 4) for k in range(5)}) > 1
+        executor, _ = make_sharded(query, 4)
+        for source, item in feed(("A",), length=20):
+            executor.push(source, item)
+        stats = executor.shard_stats()
+        populated = [s for s in stats if s["state_values"] > 0]
+        assert len(populated) > 1
+        executor.close()

@@ -1,0 +1,129 @@
+"""The transport abstraction: in-process default and spawn-based workers.
+
+``LocalTransport`` is the zero-overhead default — a shard boundary that
+is just a synchronous method call — and ``ProcessTransport`` moves the
+same ``ShardServer`` protocol across real OS processes (spawn start
+method, so workers never inherit interpreter state).  Both must be
+observationally identical: the sharded executor's merged output under a
+process transport is byte-identical to the in-process run, which the
+property suite has already pinned to the single-process oracle.
+"""
+
+import pytest
+
+from repro.engine import ProcessTransport, ShardedExecutor
+from repro.engine.transport import LocalTransport, TransportError
+from repro.plans import (
+    AggregateNode,
+    AggregateSpec,
+    Comparison,
+    Field,
+    JoinNode,
+    Source,
+)
+from repro.plans.logical import Query
+from repro.streams import CollectorSink
+from repro.temporal import element
+
+A = Source("A", ["k", "v"])
+B = Source("B", ["k"])
+
+
+def join_query():
+    return Query(
+        JoinNode(A, B, Comparison("=", Field("A.k"), Field("B.k"))),
+        {"A": 12, "B": 12},
+    )
+
+
+def grouped_agg_query():
+    return Query(
+        AggregateNode(
+            A, [AggregateSpec("sum", "A.v"), AggregateSpec("count")],
+            group_by=["A.k"],
+        ),
+        {"A": 12},
+    )
+
+
+def feed(used, length=40):
+    deltas = [0, 1, 0, 0, 2, 1, 0, 1]
+    t, out = 0, []
+    for i in range(length):
+        t += deltas[i % len(deltas)]
+        source = used[i % len(used)]
+        key = (i * 7 + i // 3) % 5
+        payload = (key, i % 9) if source == "A" else (key,)
+        out.append((source, element(payload, t, t + 1)))
+    return out
+
+
+def run(query, transport, shards=2):
+    used = tuple(query.windows)
+    executor = ShardedExecutor(query, shards, transport=transport)
+    sink = CollectorSink()
+    executor.add_sink(sink)
+    try:
+        for source, item in feed(used):
+            executor.push(source, item)
+        executor.finish()
+        stats = executor.shard_stats()
+    finally:
+        executor.close()
+    return [(e.payload, e.start, e.end, e.flag) for e in sink.elements], stats
+
+
+class TestLocalTransport:
+    def test_launch_count_and_synchronous_channels(self):
+        transport = LocalTransport()
+        channels = transport.launch(3, _bootstrap(join_query()))
+        assert len(channels) == 3
+        for channel in channels:
+            channel.send([("stats", 0)])
+            replies = channel.recv()
+            assert replies[0][0] == 0 and replies[0][1] == "stats"
+            assert channel.poll() == []
+            channel.close()
+            with pytest.raises(TransportError):
+                channel.send([("stats", 1)])
+        transport.shutdown()
+
+
+class TestProcessTransport:
+    """Spawn-based workers: the expensive transport, exercised on a short
+    deterministic feed (cold interpreter start per worker)."""
+
+    @pytest.mark.parametrize(
+        "query_builder", [join_query, grouped_agg_query]
+    )
+    def test_matches_local_transport(self, query_builder):
+        local_output, _ = run(query_builder(), LocalTransport())
+        process_output, stats = run(query_builder(), ProcessTransport())
+        assert process_output == local_output
+        assert len(stats) == 2
+        assert sum(s["delivered"] for s in stats) == len(process_output)
+
+    def test_spawn_start_method_is_the_default(self):
+        assert ProcessTransport()._start_method == "spawn"
+
+    def test_dead_worker_surfaces_as_transport_error(self):
+        transport = ProcessTransport()
+        channels = transport.launch(1, _bootstrap(join_query()))
+        try:
+            worker = channels[0]._process
+            worker.terminate()
+            worker.join(10.0)
+            with pytest.raises(TransportError):
+                channels[0].send([("stats", 0)])
+                channels[0].recv(timeout=10.0)
+        finally:
+            transport.shutdown()
+
+
+def _bootstrap(query):
+    return {
+        "query": query,
+        "builder": {},
+        "batch_size": 64,
+        "bucket_size": 1000,
+    }

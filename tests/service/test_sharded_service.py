@@ -1,0 +1,93 @@
+"""Sharded deployments through the service layer.
+
+``register(..., shards=N)`` swaps the query's executor for a
+``ShardedExecutor`` behind the same handle surface: the ingest hub feeds
+it like any other query (including heartbeats for sources it does not
+read), its merged results land in the same sink, and the autonomic
+controller — whose in-place plan migration is undefined across shards —
+audits every consideration round as ``skipped-sharded`` instead of
+touching it.
+"""
+
+import pytest
+
+from repro.cql import Catalog
+from repro.engine.sharded import ShardedExecutor
+from repro.service import (
+    SKIPPED_SHARDED,
+    ContinuousQueryService,
+    ControllerPolicy,
+)
+
+CATALOG = {"A": ("x", "v"), "B": ("y",)}
+JOIN_CQL = "SELECT * FROM A [RANGE 30], B [RANGE 30] WHERE A.x = B.y"
+GLOBAL_CQL = "SELECT count(*) FROM A [RANGE 30]"
+
+
+def service(period=10**9):
+    return ContinuousQueryService(
+        catalog=Catalog(CATALOG), policy=ControllerPolicy(period=period)
+    )
+
+
+def publish_feed(svc, length=80):
+    for i in range(length):
+        if i % 2 == 0:
+            svc.publish("A", (i % 4, i % 7), i)
+        else:
+            svc.publish("B", (i % 4,), i)
+
+
+class TestShardedRegistration:
+    def test_sharded_handle_runs_a_sharded_executor(self):
+        svc = service()
+        handle = svc.register("q", JOIN_CQL, shards=2)
+        assert isinstance(handle.executor, ShardedExecutor)
+        assert handle.shards == 2
+        assert handle.executor.shard_count == 2
+
+    def test_default_registration_stays_single_process(self):
+        svc = service()
+        handle = svc.register("q", JOIN_CQL)
+        assert not isinstance(handle.executor, ShardedExecutor)
+        assert handle.shards == 1
+
+    def test_global_only_plan_rejected_at_registration(self):
+        svc = service()
+        with pytest.raises(ValueError, match="not key-shardable"):
+            svc.register("q", GLOBAL_CQL, shards=2)
+
+    def test_sharded_results_match_single_process(self):
+        single = service()
+        baseline = single.register("q", JOIN_CQL)
+        publish_feed(single)
+        single.finish()
+
+        sharded = service()
+        handle = sharded.register("q", JOIN_CQL, shards=2)
+        publish_feed(sharded)
+        sharded.finish()
+        assert handle.results == baseline.results
+
+    def test_sharded_query_coexists_with_single_process_queries(self):
+        """One hub feeding both deployment styles: each query sees the
+        same feed, sharded or not."""
+        svc = service()
+        plain = svc.register("plain", JOIN_CQL)
+        wide = svc.register("wide", JOIN_CQL, shards=3)
+        publish_feed(svc)
+        svc.finish()
+        assert wide.results == plain.results
+
+
+class TestControllerInteraction:
+    def test_rounds_record_skipped_sharded(self):
+        svc = service(period=10)
+        handle = svc.register("q", JOIN_CQL, shards=2)
+        publish_feed(svc)
+        svc.finish()
+        skipped = handle.events.of_kind(SKIPPED_SHARDED)
+        assert skipped
+        assert all(event["shards"] == 2 for event in skipped)
+        # No migration was ever attempted on the sharded executor.
+        assert handle.executor.migration_log == []
