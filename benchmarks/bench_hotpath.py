@@ -48,6 +48,9 @@ the single-process meter exactly, category by category.
 Every scenario additionally reports p50/p95/p99 per-element ingestion
 latency over its timed window — for ``genmig_inflight``, that is the
 per-element latency *during* the migration's parallel phase.
+A ``modelcheck_smoke`` section times the protocol model checker
+(``repro.analysis.modelcheck``/``races``) in schedules explored per
+second — the cost driver of the CI ``modelcheck`` job.
 
 Results are written to ``BENCH_hotpath.json``.  Pass ``--baseline
 path/to/old.json`` to embed a previously captured run (e.g. from the
@@ -796,6 +799,60 @@ def run_shard_sweep(config: HotpathConfig) -> Dict[str, object]:
     }
 
 
+#: Model-checker presets timed by the smoke entry — one migration scenario
+#: and one transport scenario keeps the smoke run in seconds; the full run
+#: times every preset.
+MODELCHECK_SMOKE_PRESETS = ("genmig-figure2", "shard-merge")
+
+
+def run_modelcheck_smoke(smoke: bool) -> Dict[str, object]:
+    """Time the protocol model checker: schedules explored per second.
+
+    The explorer replays the real executor once per schedule, so its
+    throughput is a proxy for executor start-up plus small-feed run cost —
+    a regression here means every CI ``modelcheck`` job gets slower.  Each
+    preset must come back *passed* and *complete*; a result that merely
+    ran fast but found a violation (or exhausted its budget) fails the
+    benchmark run rather than recording a meaningless rate.
+    """
+    from repro.analysis.modelcheck import PRESETS, build_scenario
+    from repro.analysis.races import SHARD_PRESETS, build_shard_scenario
+
+    names = MODELCHECK_SMOKE_PRESETS if smoke else tuple(
+        sorted(set(PRESETS) | set(SHARD_PRESETS))
+    )
+    presets: Dict[str, object] = {}
+    total_schedules = 0
+    total_seconds = 0.0
+    for name in names:
+        scenario = (
+            build_shard_scenario(name) if name in SHARD_PRESETS
+            else build_scenario(name)
+        )
+        started = time.perf_counter()
+        result = scenario.run_check()
+        elapsed = time.perf_counter() - started
+        if not (result.passed and result.complete):
+            raise SystemExit(
+                f"modelcheck_smoke: preset {name!r} did not pass cleanly "
+                f"(passed={result.passed}, complete={result.complete})"
+            )
+        total_schedules += result.explored
+        total_seconds += elapsed
+        presets[name] = {
+            "explored": result.explored,
+            "pruned": result.pruned,
+            "seconds": round(elapsed, 4),
+            "schedules_per_sec": round(result.explored / elapsed, 1),
+        }
+    return {
+        "presets": presets,
+        "schedules_explored": total_schedules,
+        "seconds": round(total_seconds, 4),
+        "schedules_per_sec": round(total_schedules / total_seconds, 1),
+    }
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -961,6 +1018,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         + f", outputs match: {sharding['outputs_match']}, "
         f"meter aggregation exact: {sharding['meter_aggregation_exact']} "
         f"({sharding['cpu_count']} cpu)"
+    )
+
+    # Protocol model checker: schedule-replay throughput.  Kept out of
+    # report["scenarios"] deliberately — the --regress gate reads
+    # elements_per_sec there, and this section measures schedules/sec.
+    modelcheck = run_modelcheck_smoke(args.smoke)
+    report["modelcheck_smoke"] = modelcheck
+    print(
+        f"{'modelcheck':16s} {modelcheck['schedules_per_sec']:>12.1f} schedules/sec "
+        f"({modelcheck['schedules_explored']} schedules in "
+        f"{modelcheck['seconds']:.3f} s, {len(modelcheck['presets'])} presets)"
     )
 
     if baseline is not None:

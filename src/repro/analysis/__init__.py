@@ -13,11 +13,16 @@ Three tools, one package:
   hooked into the engine at zero cost when off;
 * :mod:`~repro.analysis.lint` — AST-based project-specific lint rules for
   the engine code itself (no wall clocks, purge via sweep-area APIs,
-  honest batch overrides), run locally and in CI.
+  honest batch overrides), run locally and in CI;
+* :mod:`~repro.analysis.modelcheck` / :mod:`~repro.analysis.races` — a
+  small-scope exhaustive schedule explorer for the migration protocols
+  (checked against a relational oracle) and a happens-before race
+  detector for the transport / sharded layer.
 
 Command line::
 
     python -m repro.analysis "SELECT ..." --source bids=item,price
+    python -m repro.analysis modelcheck --all
     python -m repro.analysis.lint [paths]
 """
 
@@ -36,6 +41,24 @@ from .plan_verifier import (
     verify_plan,
     verify_query,
 )
+from .modelcheck import (
+    PRESETS,
+    ModelCheckResult,
+    RelationalOracle,
+    Scenario,
+    ScheduleViolation,
+    build_scenario,
+    check_scenario,
+    seed_bug,
+)
+from .races import (
+    SHARD_PRESETS,
+    RecordingTransport,
+    ShardScenario,
+    build_shard_scenario,
+    check_shard_scenario,
+    seed_shard_bug,
+)
 from .sanitizer import (
     SanitizerViolation,
     StreamSanitizer,
@@ -49,13 +72,25 @@ from .sharding import ShardingPlan, classify_sharding
 __all__ = [
     "Diagnostic",
     "MigrationVerdict",
+    "ModelCheckResult",
     "OperatorClassification",
+    "PRESETS",
     "PlanVerdict",
+    "RecordingTransport",
+    "RelationalOracle",
+    "SHARD_PRESETS",
     "SanitizerViolation",
+    "Scenario",
+    "ScheduleViolation",
+    "ShardScenario",
     "ShardingPlan",
     "SplitBound",
     "StrategyVerdict",
     "StreamSanitizer",
+    "build_scenario",
+    "build_shard_scenario",
+    "check_scenario",
+    "check_shard_scenario",
     "classify_logical",
     "classify_sharding",
     "classify_operator",
@@ -63,6 +98,8 @@ __all__ = [
     "figure2_plans",
     "install",
     "sanitized",
+    "seed_bug",
+    "seed_shard_bug",
     "uninstall",
     "verify_box",
     "verify_migration",

@@ -14,6 +14,12 @@ Examples::
 
     python -m repro.analysis query.cql --source bids=item,price \
         --strategy parallel-track --json
+
+The ``modelcheck`` subcommand instead runs the bounded migration /
+transport model checker (:mod:`repro.analysis.modelcheck`)::
+
+    python -m repro.analysis modelcheck --all
+    python -m repro.analysis modelcheck --preset pt-figure2 --budget 2000
 """
 
 from __future__ import annotations
@@ -51,6 +57,11 @@ def _load_query_text(argument: str) -> str:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments and arguments[0] == "modelcheck":
+        from .modelcheck import run_cli
+
+        return run_cli(arguments[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description="Statically verify a CQL query for migration safety.",
@@ -83,7 +94,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--json", action="store_true", help="emit the verdict as JSON"
     )
     try:
-        args = parser.parse_args(argv)
+        args = parser.parse_args(arguments)
     except SystemExit as exc:  # argparse exits 2 on usage errors already
         return int(exc.code or 0)
 

@@ -5,11 +5,12 @@ rules are enforced here with the stdlib ``ast`` module (no third-party
 dependency — ``ruff``/``mypy`` run additionally in CI):
 
 ``RLB001``
-    No wall-clock reads under ``engine/`` or ``operators/``.  The executor
-    is a deterministic application-time simulator (the paper's
-    sufficient-resources assumption, Section 4.4); a single
-    ``time.time()`` in an operator makes runs irreproducible and couples
-    snapshots to the host clock.
+    No wall-clock reads under ``engine/``, ``operators/`` or
+    ``recovery/``.  The executor is a deterministic application-time
+    simulator (the paper's sufficient-resources assumption, Section 4.4);
+    a single ``time.time()`` in an operator makes runs irreproducible and
+    couples snapshots to the host clock — and a wall clock in checkpoint
+    or replay code would make recovery itself nondeterministic.
 
 ``RLB002``
     A class overriding ``_on_watermark`` must purge through a sweep-area
@@ -61,9 +62,29 @@ dependency — ``ruff``/``mypy`` run additionally in CI):
     abstraction; a stray ``Process``/``Thread`` elsewhere would smuggle
     scheduling nondeterminism past the snapshot-equivalence oracle.
 
+``RLB008``
+    The router↔worker wire protocol is private: outside
+    ``engine/transport.py`` (its owner) and ``analysis/races.py`` (the
+    race-detector instrumentation) no code may construct a
+    ``ShardServer`` directly or reach into a channel's reply plumbing
+    (``_replies``/``_reader``).  Workers must be launched through
+    ``Transport.launch`` — a hand-built server or a poked reply buffer
+    bypasses the reply accounting the ordered merge pump and the race
+    detector are built on.
+
+``RLB009``
+    No module-level mutable literals (``[]``/``{}``/``list()``/
+    ``dict()``/``set()``) under ``engine/`` or ``operators/`` (the
+    conventional ``__all__`` excepted).  Module state is shared across
+    every executor in the process: the model checker replays thousands
+    of schedules per process and sharded workers may be in-process, so a
+    module-level cache or registry would leak state between runs and
+    turn into a lost-update race under a threaded transport.  Use
+    immutable constants (tuples, ``frozenset``) or instance state.
+
 Run locally or in CI::
 
-    PYTHONPATH=src python -m repro.analysis.lint [paths...]
+    PYTHONPATH=src python -m repro.analysis.lint [paths...] [--format github]
 
 Exit status is 1 when any finding is reported.
 """
@@ -96,7 +117,7 @@ WALL_CLOCKS = frozenset(
 )
 
 #: Directories (path components) in which RLB001 applies.
-WALL_CLOCK_SCOPE = ("engine", "operators")
+WALL_CLOCK_SCOPE = ("engine", "operators", "recovery")
 
 #: Kernel-compiler entry points whose inputs RLB004 checks: their
 #: expression arguments must be Expression trees, never bare callables.
@@ -154,6 +175,20 @@ PROCESS_OS_ATTRS = frozenset(
 #: The one module allowed to touch process primitives (RLB007).
 TRANSPORT_MODULE = ("engine", "transport.py")
 
+#: Channel reply-plumbing attributes private to the transport (RLB008).
+CHANNEL_INTERNALS = frozenset({"_replies", "_reader"})
+
+#: Modules (trailing path components) allowed to construct ShardServer
+#: and touch channel internals (RLB008): the transport itself and the
+#: race-detector instrumentation built on it.
+TRANSPORT_INTERNAL_EXEMPT = (("engine", "transport.py"), ("analysis", "races.py"))
+
+#: Directories (path components) in which RLB009 applies.
+MUTABLE_GLOBAL_SCOPE = ("engine", "operators")
+
+#: Module-level names RLB009 never flags.
+MUTABLE_GLOBAL_EXEMPT = frozenset({"__all__"})
+
 
 @dataclass(frozen=True)
 class LintFinding:
@@ -166,6 +201,23 @@ class LintFinding:
 
     def __str__(self) -> str:
         return f"{self.path}:{self.line}: {self.code} {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable view (``--format json``)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "code": self.code,
+            "message": self.message,
+        }
+
+    def github_annotation(self) -> str:
+        """GitHub Actions workflow-command form (``--format github``)."""
+        message = self.message.replace("%", "%25").replace("\n", "%0A")
+        return (
+            f"::error file={self.path},line={self.line},"
+            f"title={self.code}::{message}"
+        )
 
 
 # --------------------------------------------------------------------- #
@@ -435,6 +487,93 @@ def _process_primitive_findings(tree: ast.AST, path: str) -> List[LintFinding]:
     return findings
 
 
+def _transport_internal_findings(tree: ast.AST, path: str) -> List[LintFinding]:
+    """RLB008: the router↔worker protocol is transport.py's monopoly.
+
+    Flags direct ``ShardServer(...)`` construction and any access to a
+    channel's reply plumbing (``_replies``/``_reader``).  Name-based like
+    the rest of this linter; both names are unique to the transport.
+    """
+    findings: List[LintFinding] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            callee = node.func
+            name = None
+            if isinstance(callee, ast.Attribute):
+                name = callee.attr
+            elif isinstance(callee, ast.Name):
+                name = callee.id
+            if name == "ShardServer":
+                findings.append(
+                    LintFinding(
+                        path,
+                        node.lineno,
+                        "RLB008",
+                        "ShardServer constructed outside engine/transport.py: "
+                        "workers must be launched through Transport.launch so "
+                        "the reply accounting the ordered merge pump (and the "
+                        "race detector) depend on stays intact",
+                    )
+                )
+        elif isinstance(node, ast.Attribute) and node.attr in CHANNEL_INTERNALS:
+            findings.append(
+                LintFinding(
+                    path,
+                    node.lineno,
+                    "RLB008",
+                    f"access to channel internal {node.attr!r} outside "
+                    "engine/transport.py: the reply plumbing is private — "
+                    "use send/poll/recv, which the race detector instruments",
+                )
+            )
+    return findings
+
+
+def _mutable_global_findings(tree: ast.AST, path: str) -> List[LintFinding]:
+    """RLB009: no module-level mutable literals in engine/operator code.
+
+    Flags top-level assignments whose value is a list/dict/set literal or
+    a bare ``list()``/``dict()``/``set()`` call.  Module state is shared
+    by every executor in the process — schedule replays and in-process
+    shard workers would leak state through it.
+    """
+    findings: List[LintFinding] = []
+    if not isinstance(tree, ast.Module):
+        return findings
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        else:
+            continue
+        names = [t.id for t in targets if isinstance(t, ast.Name)]
+        if not names or all(name in MUTABLE_GLOBAL_EXEMPT for name in names):
+            continue
+        mutable: Optional[str] = None
+        if isinstance(value, (ast.List, ast.Dict, ast.Set)):
+            mutable = type(value).__name__.lower()
+        elif (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id in ("list", "dict", "set")
+        ):
+            mutable = f"{value.func.id}()"
+        if mutable is not None:
+            findings.append(
+                LintFinding(
+                    path,
+                    node.lineno,
+                    "RLB009",
+                    f"module-level mutable {mutable} {names[0]!r} in engine/"
+                    "operator code: module state is shared across every "
+                    "executor and schedule replay in the process — use a "
+                    "tuple/frozenset constant or instance state",
+                )
+            )
+    return findings
+
+
 # --------------------------------------------------------------------- #
 # The linter
 # --------------------------------------------------------------------- #
@@ -491,6 +630,10 @@ class Linter:
                 findings.extend(_operator_construction_findings(tree, path))
             if parts[-2:] != TRANSPORT_MODULE:
                 findings.extend(_process_primitive_findings(tree, path))
+            if all(parts[-2:] != exempt for exempt in TRANSPORT_INTERNAL_EXEMPT):
+                findings.extend(_transport_internal_findings(tree, path))
+            if any(scope in parts for scope in MUTABLE_GLOBAL_SCOPE):
+                findings.extend(_mutable_global_findings(tree, path))
             for cls in classes:
                 findings.extend(self._class_findings(path, cls))
         return findings
@@ -554,13 +697,39 @@ def lint_paths(paths: Iterable[Path]) -> List[LintFinding]:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = list(sys.argv[1:] if argv is None else argv)
-    if not args:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="Project-specific AST lint rules (RLB001-RLB009).",
+    )
+    parser.add_argument("paths", nargs="*", help="files/directories to lint")
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "github"),
+        default="text",
+        help="output format: plain text (default), a JSON array, or "
+        "GitHub Actions ::error annotations",
+    )
+    try:
+        args = parser.parse_args(sys.argv[1:] if argv is None else argv)
+    except SystemExit as exc:
+        return int(exc.code or 0)
+    targets = args.paths
+    if not targets:
         root = Path(__file__).resolve().parents[1]  # src/repro
-        args = [str(root)]
-    findings = lint_paths(Path(arg) for arg in args)
-    for finding in findings:
-        print(finding)
+        targets = [str(root)]
+    findings = lint_paths(Path(target) for target in targets)
+    if args.format == "json":
+        import json
+
+        print(json.dumps([f.to_dict() for f in findings], indent=2))
+    elif args.format == "github":
+        for finding in findings:
+            print(finding.github_annotation())
+    else:
+        for finding in findings:
+            print(finding)
     if findings:
         print(f"{len(findings)} lint finding(s)", file=sys.stderr)
         return 1

@@ -35,7 +35,7 @@ the re-optimizer's candidate gate, the DOT renderer and the
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..plans.expressions import Schema
 from ..plans.logical import (
@@ -907,8 +907,24 @@ class MigrationVerdict:
         return frozenset((self.old.profile, self.new.profile))
 
 
-def verify_migration(old_box: "Box", new_box: "Box") -> MigrationVerdict:
-    """Analyse an old/new box pair and recommend a sound strategy."""
+def verify_migration(
+    old_box: "Box",
+    new_box: "Box",
+    scenarios: Optional[Sequence[object]] = None,
+    modelcheck_budget: Optional[int] = None,
+) -> MigrationVerdict:
+    """Analyse an old/new box pair and recommend a sound strategy.
+
+    ``scenarios`` optionally supplies bounded model-check scenarios
+    (:class:`repro.analysis.modelcheck.Scenario` or
+    :class:`repro.analysis.races.ShardScenario`): each is exhaustively
+    explored and its diagnostics are merged into the verdict — a failed
+    check demotes the exercised strategy's bucket to unsafe (``MCK001`` /
+    ``MCK002``; transport scenarios, which are strategy-agnostic, demote
+    every bucket via ``RAC001``/``RAC002``), and the recommendation is
+    recomputed over the demoted verdict.  ``modelcheck_budget`` bounds
+    the schedules explored per scenario.
+    """
     old = verify_box(old_box)
     new = verify_box(new_box)
     strategies: Dict[str, StrategyVerdict] = {}
@@ -916,11 +932,36 @@ def verify_migration(old_box: "Box", new_box: "Box") -> MigrationVerdict:
         safe = old.strategies[name].safe and new.strategies[name].safe
         diagnostics = old.strategies[name].diagnostics + new.strategies[name].diagnostics
         strategies[name] = StrategyVerdict(name, safe, diagnostics)
+
+    statically_safe = {name for name in STRATEGIES if strategies[name].safe}
+    modelcheck_failed: set = set()
+    for scenario in scenarios or ():
+        result = scenario.run_check(budget=modelcheck_budget)
+        buckets = (
+            [result.strategy] if result.strategy in STRATEGIES else list(STRATEGIES)
+        )
+        extra = tuple(result.diagnostics())
+        for bucket in buckets:
+            base = strategies[bucket]
+            demoted = not result.passed
+            if demoted:
+                modelcheck_failed.add(bucket)
+            strategies[bucket] = StrategyVerdict(
+                bucket, base.safe and not demoted, base.diagnostics + extra
+            )
+
     if strategies[REFERENCE_POINT].safe:
         recommended = REFERENCE_POINT
         reason = (
             "both boxes are start-preserving: the reference-point "
             "optimization saves the coalesce operator's memory and CPU"
+        )
+    elif REFERENCE_POINT in modelcheck_failed and REFERENCE_POINT in statically_safe:
+        recommended = GENMIG
+        reason = (
+            "the model checker found a schedule that breaks snapshot-"
+            "equivalence under the reference-point optimization; falling "
+            "back to GenMig with coalesce"
         )
     else:
         recommended = GENMIG

@@ -70,6 +70,32 @@ class GenMig(MigrationStrategy):
             self._try_complete(executor)
 
     @property
+    def phase(self) -> str:
+        return self._phase
+
+    def phase_state(self) -> Optional[tuple]:
+        """Canonical digest of all GenMig-owned state (see base class).
+
+        Covers the phase machine, the split time, and the contents of the
+        splits, the coalesce tables and the new box — everything an
+        identical-state pruning decision in the model checker must agree
+        on.
+        """
+        from ..engine.box import operator_digest
+
+        aux: tuple = ()
+        if self._phase == "parallel":
+            aux = (
+                self.new_box.state_digest() if self.new_box is not None else None,
+                operator_digest(self.coalesce) if self.coalesce is not None else None,
+                tuple(
+                    (name, operator_digest(split))
+                    for name, split in sorted(self.splits.items())
+                ),
+            )
+        return (self.name, self._phase, self.t_split, self._started_at) + aux
+
+    @property
     def batchable(self) -> bool:
         """Batch-boundary ticks are sound only in the parallel phase.
 
@@ -100,6 +126,8 @@ class GenMig(MigrationStrategy):
             # Algorithm 1 monitors until t_Si is set for every input; a
             # source that stays silent to the end of the stream can never
             # contribute old-box state, so end-of-stream arms regardless.
+            return
+        if not self._gate(executor, "arm"):
             return
         self._started_at = executor.clock
         self.t_split = self._compute_t_split(executor)
@@ -145,6 +173,8 @@ class GenMig(MigrationStrategy):
         assert self.t_split is not None
         done = min(executor.source_watermarks.values()) >= self.t_split
         if not done and not executor.at_end_of_stream:
+            return
+        if not self._gate(executor, "complete"):
             return
         if not done:
             # The streams ended first: drain the old side explicitly (the

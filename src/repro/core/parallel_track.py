@@ -185,6 +185,8 @@ class ParallelTrack(MigrationStrategy):
         if self._old_elements_remain():
             if not at_end_of_stream:
                 return
+        if not self._gate(executor, "complete"):
+            return
         self._complete(executor)
 
     def _old_elements_remain(self) -> bool:
@@ -225,6 +227,33 @@ class ParallelTrack(MigrationStrategy):
         if self.new_box is not None and not self.finished:
             total += self.new_box.state_value_count()
         return total
+
+    @property
+    def phase(self) -> str:
+        return "done" if self.finished else "parallel"
+
+    def phase_state(self) -> Optional[tuple]:
+        """Canonical digest of all PT-owned state (see the base class).
+
+        Covers the dual-track bookkeeping, the new box's state and the
+        output buffer: the buffered elements are part of the observable
+        future (the end-of-migration burst), so pruning may only identify
+        states whose buffers agree element for element.
+        """
+        buffered = tuple(
+            (e.start, e.end, repr(e.payload), repr(e.flag))
+            for e in self._buffer.elements
+        )
+        return (
+            self.name,
+            self.phase,
+            self._migration_start,
+            self._purge_horizon,
+            self._next_check,
+            self.new_box.state_digest() if self.new_box is not None else None,
+            buffered,
+            self._old_filter.dropped if self._old_filter is not None else None,
+        )
 
 
 def _tuple_timestamp_retention(window: Time):

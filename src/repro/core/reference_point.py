@@ -138,6 +138,8 @@ class ReferencePointGenMig(GenMig):
         done = min(executor.source_watermarks.values()) >= self.t_split
         if not done and not executor.at_end_of_stream:
             return
+        if not self._gate(executor, "complete"):
+            return
         self.old_box.root.detach_sink(self._monitor)
         self.new_box.root.detach_sink(self._filter)
         self.old_box.sever()
@@ -163,3 +165,13 @@ class ReferencePointGenMig(GenMig):
         if self._phase == "parallel" and self.new_box is not None:
             return self.new_box.state_value_count()
         return 0
+
+    def phase_state(self) -> Optional[tuple]:
+        """GenMig's digest plus the reference-point filter counters."""
+        base = super().phase_state()
+        if base is None:
+            return None
+        return base + (
+            self._filter.dropped if self._filter is not None else None,
+            self._monitor.violations if self._monitor is not None else None,
+        )

@@ -15,7 +15,7 @@ gate at its output.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Sequence
 
 from ..temporal.time import Time
 
@@ -69,6 +69,44 @@ class MigrationStrategy:
     def __init__(self) -> None:
         self.finished = False
         self._report: Optional[MigrationReport] = None
+        #: Enumerable transition points for the model checker
+        #: (:mod:`repro.analysis.modelcheck`).  When set, every *enabled*
+        #: phase transition (GenMig's arm/complete, Parallel Track's
+        #: complete) consults the gate before firing: ``True`` fires the
+        #: transition now, ``False`` defers it to a later ``after_event``
+        #: tick.  ``None`` (production default) fires every enabled
+        #: transition immediately — the historical behaviour, bit for bit.
+        self.transition_gate: Optional[Callable[[str], bool]] = None
+
+    def _gate(self, executor, transition: str) -> bool:
+        """Whether an enabled ``transition`` may fire at this tick.
+
+        At end of stream the gate is bypassed: deferral would leave the
+        migration unfinished past the last event, which ``finish()``
+        rejects — completion must stay reachable under every schedule.
+        """
+        if self.transition_gate is None:
+            return True
+        if getattr(executor, "at_end_of_stream", False):
+            return True
+        return self.transition_gate(transition)
+
+    @property
+    def phase(self) -> str:
+        """The strategy's current lifecycle phase (coarse, for display)."""
+        return "done" if self.finished else "active"
+
+    def phase_state(self) -> Optional[tuple]:
+        """A canonical, hashable digest of *all* migration-owned state.
+
+        The model checker's schedule pruning folds this into the executor
+        fingerprint: two runs may only be identified when their strategy
+        state (phase, split time, auxiliary operator contents, buffers) is
+        identical.  ``None`` — the base default — means "not enumerable";
+        the explorer then disables pruning rather than risk unsound
+        identification.
+        """
+        return None
 
     def begin(self, executor, new_box) -> None:
         """Install the strategy into a running executor."""
@@ -140,7 +178,11 @@ def classify_box(box: "Box") -> BoxClassification:
 
 
 def select_strategy(
-    old_box: "Box", new_box: "Box", prefer: str = "auto"
+    old_box: "Box",
+    new_box: "Box",
+    prefer: str = "auto",
+    scenarios: Optional[Sequence[object]] = None,
+    modelcheck_budget: Optional[int] = None,
 ) -> MigrationStrategy:
     """Pick the cheapest sound migration strategy for an old/new box pair.
 
@@ -157,19 +199,36 @@ def select_strategy(
     (:func:`repro.analysis.plan_verifier.verify_migration`); the verdict —
     including the per-strategy diagnostics that justify the choice — is
     attached to the returned strategy as ``selection_verdict``.
+
+    ``scenarios`` optionally names bounded model-check scenarios
+    (:mod:`repro.analysis.modelcheck` :class:`Scenario` objects); each is
+    exhaustively explored and any schedule that diverges from the
+    relational oracle demotes the exercised strategy to unsafe via an
+    ``MCK001`` diagnostic — dynamic certification on top of the static
+    verdict.  ``modelcheck_budget`` bounds the exploration per scenario.
     """
-    from ..analysis.plan_verifier import REFERENCE_POINT, verify_migration
+    from ..analysis.plan_verifier import (
+        PARALLEL_TRACK,
+        REFERENCE_POINT,
+        verify_migration,
+    )
     from .genmig import GenMig
     from .parallel_track import ParallelTrack
     from .reference_point import ReferencePointGenMig
 
     if prefer not in ("auto", "coalesce", "reference-point", "parallel-track"):
         raise ValueError(f"unknown strategy preference {prefer!r}")
-    verdict = verify_migration(old_box, new_box)
+    verdict = verify_migration(
+        old_box, new_box, scenarios=scenarios, modelcheck_budget=modelcheck_budget
+    )
     strategy: MigrationStrategy
     if prefer == "coalesce":
         strategy = GenMig()
-    elif prefer == "parallel-track" and verdict.profiles == {"join-only"}:
+    elif (
+        prefer == "parallel-track"
+        and verdict.profiles == {"join-only"}
+        and verdict.strategies[PARALLEL_TRACK].safe
+    ):
         strategy = ParallelTrack()
     elif verdict.strategies[REFERENCE_POINT].safe:
         strategy = ReferencePointGenMig()

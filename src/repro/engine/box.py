@@ -81,6 +81,54 @@ class Box:
         """Disconnect the box's internal root output (teardown helper)."""
         self.root.clear_subscribers()
 
+    def state_digest(self) -> tuple:
+        """Canonical, hashable digest of every operator's state.
+
+        Used by the model checker's schedule pruning
+        (:meth:`~repro.engine.executor.QueryExecutor.fingerprint`): two
+        executor states with equal digests hold identical operator state,
+        so their continuations are schedule-for-schedule identical.
+        """
+        return tuple(operator_digest(op) for op in self.operators)
+
+
+def _element_key(element: StreamElement) -> tuple:
+    """Order-free canonical identity of one state element."""
+    return (element.start, element.end, repr(element.payload), repr(element.flag))
+
+
+def operator_digest(op: Operator) -> tuple:
+    """Canonical, hashable digest of one operator's complete state.
+
+    Combines the shared progress machinery (per-port watermarks, progress
+    marks, staged output in release order) with the held state elements —
+    port-resolved through the ``state_of_port`` drain hook when the
+    operator has one, otherwise as one sorted bag.  Sorting makes the
+    digest independent of internal iteration order, so state reached
+    through different (but effect-equal) event interleavings compares
+    equal.
+    """
+    progress = op.progress_state()
+    drain = getattr(op, "state_of_port", None)
+    if callable(drain):
+        state: tuple = tuple(
+            tuple(sorted(_element_key(e) for e in drain(port)))
+            for port in range(op.arity)
+        )
+    else:
+        state = (tuple(sorted(_element_key(e) for e in op.state_elements())),)
+    extras = getattr(op, "checkpoint_extras", None)
+    return (
+        op.name,
+        type(op).__name__,
+        tuple(progress["watermarks"]),
+        progress["emitted_watermark"],
+        progress["purged_watermark"],
+        tuple(_element_key(e) for e in progress["staged"]),
+        state,
+        repr(extras()) if callable(extras) else None,
+    )
+
 
 class Router(Operator):
     """Stateless splice point: forwards its input to swappable subscribers."""

@@ -247,6 +247,45 @@ class QueryExecutor:
             total += self.strategy.state_value_count()
         return total
 
+    def fingerprint(self) -> Optional[tuple]:
+        """Canonical, hashable digest of the executor's complete state.
+
+        The model checker (:mod:`repro.analysis.modelcheck`) prunes its
+        schedule exploration on this: two runs whose fingerprints (and
+        emitted output prefixes) agree behave identically under every
+        continuation, so only one needs exploring further.  The digest
+        covers the clock, per-source progress, the window operators, every
+        operator of the installed box, the gate's ordering marks, pending
+        actions, and — through the strategy's ``phase_state`` hook — all
+        migration-owned auxiliary state.  Returns ``None`` when an
+        installed strategy is not enumerable (no ``phase_state``), which
+        tells the explorer to disable pruning rather than risk unsound
+        identification.
+        """
+        from .box import operator_digest
+
+        strategy_state: Optional[tuple] = None
+        if self.strategy is not None:
+            hook = getattr(self.strategy, "phase_state", None)
+            strategy_state = hook() if callable(hook) else None
+            if strategy_state is None:
+                return None
+        return (
+            self.clock,
+            tuple(sorted(self.source_watermarks.items())),
+            tuple(sorted(self.source_max_ends.items())),
+            tuple(sorted(self.source_seen.items())),
+            self.at_end_of_stream,
+            tuple(
+                (name, operator_digest(op))
+                for name, op in sorted(self._window_ops.items())
+            ),
+            self.box.state_digest(),
+            tuple(sorted(self.gate.progress_state().items())),
+            len(self._actions),
+            strategy_state,
+        )
+
     def _sample_metrics(self) -> None:
         if self.metrics is None:
             return

@@ -280,6 +280,13 @@ class ShardedExecutor:
         self.migration_active = False
         self.migration_log: List[object] = []
         self.strategy = None
+        #: Race-detector hook (:mod:`repro.analysis.races`): invoked once
+        #: per emitted action with ``(seq, kind, elements)`` right before
+        #: the elements reach the gate, so an instrumented run can audit
+        #: the global emission order independently of gate counters.
+        self.on_action_emitted: Optional[
+            Callable[[int, str, List[StreamElement]], None]
+        ] = None
         self.clock: Time = MIN_TIME
         self._finished = False
         self._closed = False
@@ -382,6 +389,9 @@ class ShardedExecutor:
                     outputs: Iterable[StreamElement] = record["payload"]
                 else:
                     outputs = heapq.merge(*record["parts"], key=self._merge_key)
+                if self.on_action_emitted is not None:
+                    outputs = list(outputs)
+                    self.on_action_emitted(seq, "out", outputs)
                 deliver = self.gate.process
                 for element in outputs:
                     deliver(element)

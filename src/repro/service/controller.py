@@ -26,7 +26,7 @@ migration activity is fully auditable per query.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from ..optimizer.cost import CostModel
 from ..optimizer.optimizer import ReOptimizer
@@ -55,6 +55,13 @@ class ControllerPolicy:
         strategy: ``"auto"`` (recommended), ``"coalesce"``,
             ``"reference-point"`` or ``"parallel-track"``; non-auto choices
             degrade to a sound strategy when the plan shape demands it.
+        modelcheck: names of bounded model-check presets
+            (:data:`repro.analysis.modelcheck.PRESETS`) run at every
+            strategy selection; a failed check demotes the exercised
+            strategy before the choice is made.  Empty (the default)
+            skips dynamic certification.
+        modelcheck_budget: schedule cap per preset (``None`` uses the
+            checker's default).
     """
 
     period: Time = 500
@@ -64,6 +71,8 @@ class ControllerPolicy:
     migration_cost_per_value: float = 0.01
     savings_horizon: float = 1000.0
     strategy: str = "auto"
+    modelcheck: Tuple[str, ...] = ()
+    modelcheck_budget: Optional[int] = None
 
 
 class AutonomicController:
@@ -175,8 +184,17 @@ class AutonomicController:
         new_box = self.registry.builder.build(
             decision.chosen, label=f"{handle.name}/{version}"
         )
+        scenarios = None
+        if self.policy.modelcheck:
+            from ..analysis.modelcheck import build_scenario
+
+            scenarios = [build_scenario(name) for name in self.policy.modelcheck]
         strategy = select_strategy(
-            executor.box, new_box, prefer=self.policy.strategy
+            executor.box,
+            new_box,
+            prefer=self.policy.strategy,
+            scenarios=scenarios,
+            modelcheck_budget=self.policy.modelcheck_budget,
         )
         handle.pending_plan = decision.chosen
         verdict = strategy.selection_verdict
@@ -193,6 +211,7 @@ class AutonomicController:
             # boxes' migration profiles and the verifier's reasoning.
             profiles=sorted(verdict.profiles) if verdict is not None else None,
             justification=verdict.reason if verdict is not None else None,
+            modelchecked=list(self.policy.modelcheck) or None,
         )
         executor.start_migration(new_box, strategy)
 

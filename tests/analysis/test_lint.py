@@ -1,4 +1,4 @@
-"""Tests for the project-specific AST lint rules (RLB001–RLB006)."""
+"""Tests for the project-specific AST lint rules (RLB001–RLB009)."""
 
 from pathlib import Path
 
@@ -260,3 +260,117 @@ class TestWholeTree:
         assert main([str(tmp_path)]) == 1
         out = capsys.readouterr().out
         assert "RLB001" in out
+
+
+class TestWallClockRecoveryScope:
+    def test_recovery_is_in_scope(self):
+        code = "import time\n\ndef stamp():\n    return time.time()\n"
+        findings = lint_source(code, path="src/repro/recovery/checkpoint.py")
+        assert codes(findings) == ["RLB001"]
+
+    def test_transport_is_in_scope(self):
+        code = "from time import monotonic\n\nx = monotonic()\n"
+        findings = lint_source(code, path="src/repro/engine/transport.py")
+        assert codes(findings) == ["RLB001"]
+
+
+class TestTransportInternals:
+    def test_shard_server_construction_flagged(self):
+        code = "server = ShardServer(bootstrap, 0)\n"
+        findings = lint_source(code, path="src/repro/engine/sharded.py")
+        assert codes(findings) == ["RLB008"]
+        assert "Transport.launch" in findings[0].message
+
+    def test_channel_internal_access_flagged(self):
+        code = "def peek(channel):\n    return channel._replies\n"
+        findings = lint_source(code, path="src/repro/service/hub.py")
+        assert codes(findings) == ["RLB008"]
+
+    def test_transport_module_exempt(self):
+        code = "server = ShardServer(bootstrap, 0)\nx = channel._replies\n"
+        assert lint_source(code, path="src/repro/engine/transport.py") == []
+
+    def test_races_module_exempt(self):
+        code = "server = ShardServer(bootstrap, 0)\n"
+        assert lint_source(code, path="src/repro/analysis/races.py") == []
+
+
+class TestMutableGlobals:
+    def test_module_level_list_flagged(self):
+        code = "REGISTRY = []\n"
+        findings = lint_source(code, path="src/repro/engine/registry.py")
+        assert codes(findings) == ["RLB009"]
+        assert "module state is shared" in findings[0].message
+
+    def test_module_level_dict_call_flagged(self):
+        code = "CACHE = dict()\n"
+        findings = lint_source(code, path="src/repro/operators/cache.py")
+        assert codes(findings) == ["RLB009"]
+
+    def test_annotated_assignment_flagged(self):
+        code = "CACHE: dict = {}\n"
+        findings = lint_source(code, path="src/repro/engine/cache.py")
+        assert codes(findings) == ["RLB009"]
+
+    def test_dunder_all_exempt(self):
+        code = "__all__ = ['QueryExecutor']\n"
+        assert lint_source(code, path="src/repro/engine/__init__.py") == []
+
+    def test_immutable_constants_allowed(self):
+        code = "NAMES = ('a', 'b')\nAPIS = frozenset({'x'})\n"
+        assert lint_source(code, path="src/repro/engine/constants.py") == []
+
+    def test_class_and_function_bodies_allowed(self):
+        code = (
+            "class Gate:\n"
+            "    def __init__(self):\n"
+            "        self.sinks = []\n"
+        )
+        assert lint_source(code, path="src/repro/engine/gate.py") == []
+
+    def test_outside_scope_allowed(self):
+        code = "REGISTRY = {}\n"
+        assert lint_source(code, path="src/repro/service/registry.py") == []
+
+
+class TestOutputFormats:
+    def _bad_tree(self, tmp_path):
+        bad = tmp_path / "engine" / "bad.py"
+        bad.parent.mkdir(exist_ok=True)
+        bad.write_text("import time\nx = time.time()\n", encoding="utf-8")
+        return tmp_path
+
+    def test_json_format(self, tmp_path, capsys):
+        import json
+
+        assert main([str(self._bad_tree(tmp_path)), "--format", "json"]) == 1
+        findings = json.loads(capsys.readouterr().out)
+        assert findings[0]["code"] == "RLB001"
+        assert findings[0]["line"] == 2
+        assert findings[0]["path"].endswith("bad.py")
+
+    def test_json_format_empty_is_valid(self, tmp_path, capsys):
+        import json
+
+        clean = tmp_path / "ok.py"
+        clean.write_text("x = 1\n", encoding="utf-8")
+        assert main([str(clean), "--format", "json"]) == 0
+        assert json.loads(capsys.readouterr().out) == []
+
+    def test_github_format(self, tmp_path, capsys):
+        assert main([str(self._bad_tree(tmp_path)), "--format", "github"]) == 1
+        out = capsys.readouterr().out
+        assert out.startswith("::error file=")
+        assert "line=2" in out and "title=RLB001" in out
+
+    def test_github_format_escapes_newlines(self):
+        from repro.analysis.lint import LintFinding
+
+        finding = LintFinding("p.py", 1, "RLB001", "line one\nline two")
+        annotation = finding.github_annotation()
+        assert "\n" not in annotation
+        assert "%0A" in annotation
+
+    def test_text_is_the_default(self, tmp_path, capsys):
+        assert main([str(self._bad_tree(tmp_path))]) == 1
+        assert "RLB001" in capsys.readouterr().out

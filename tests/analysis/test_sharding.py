@@ -172,3 +172,108 @@ class TestVerifierIntegration:
         assert not any(
             d.code.startswith("SHD") for d in verdict.all_diagnostics()
         )
+
+class TestBoundaryCases:
+    """SHD001/SHD002 boundaries the sharded executor depends on: a wrong
+    "shardable" here splits one key's state (or one equivalence class of
+    payloads) across workers."""
+
+    def test_union_of_keyed_join_branches_shares_the_key_class(self):
+        """A union whose branches are each keyed equi-joins is shardable:
+        the routing map covers every source of both branches."""
+        left = equi_join()
+        right = JoinNode(
+            C,
+            Source("D", ["k"]),
+            Comparison("=", Field("C.k"), Field("D.k")),
+        )
+        plan = classify_sharding(UnionNode(left, right))
+        assert plan.shardable and plan.mode == "eager"
+        assert plan.routing == {"A": 0, "B": 0, "C": 0, "D": 0}
+
+    def test_union_of_strict_branches_is_refused(self):
+        """Distinct *inside* each union branch is a stateful operator
+        below the root: its finalisation cannot be merged across shards,
+        so the union is SHD002 even though each branch alone shards."""
+        plan = classify_sharding(
+            UnionNode(DistinctNode(B), DistinctNode(Source("D", ["k"])))
+        )
+        assert not plan.shardable
+        assert "SHD002" in codes(plan)
+
+    def test_fused_box_with_a_keyed_join_still_shards(self):
+        """Fusion is a physical-layer decision: a stateless select and
+        projection chain the builder fuses above a keyed join must not
+        change the sharding verdict, and a 2-shard run of the fused box
+        must match the single-process output byte for byte."""
+        from repro.engine.sharded import ShardedExecutor
+        from repro.engine.transport import LocalTransport
+        from repro.plans.physical import PhysicalBuilder
+        from repro.streams import CollectorSink
+        from repro.temporal import element
+
+        chain = ProjectNode(
+            SelectNode(equi_join(), Comparison("=", Field("B.k"), Field("A.k"))),
+            [(Field("A.v"), "v"), (Field("A.k"), "k")],
+        )
+        query = Query(chain, {"A": 12, "B": 12})
+        plan = classify_sharding(query)
+        assert plan.shardable and plan.mode == "eager"
+
+        box = PhysicalBuilder(fuse=True).build(query.plan)
+        assert any("fused" in op.name for op in box.operators), (
+            "precondition: the stateless chain actually fused"
+        )
+
+        events = [
+            ("A", element((0, 1), 0, 1)),
+            ("B", element((0,), 1, 2)),
+            ("A", element((1, 2), 2, 3)),
+            ("B", element((1,), 3, 4)),
+            ("B", element((0,), 4, 5)),
+        ]
+
+        def run_single():
+            from repro.engine.executor import QueryExecutor
+            from repro.streams import PhysicalStream
+
+            executor = QueryExecutor(
+                {name: PhysicalStream(name=name) for name in query.windows},
+                dict(query.windows),
+                PhysicalBuilder(fuse=True).build(query.plan),
+            )
+            sink = CollectorSink()
+            executor.add_sink(sink)
+            for source, item in events:
+                executor.push(source, item)
+            executor.finish()
+            return [(e.payload, e.start, e.end) for e in sink.elements]
+
+        sharded = ShardedExecutor(query, 2, transport=LocalTransport())
+        sink = CollectorSink()
+        sharded.add_sink(sink)
+        for source, item in events:
+            sharded.push(source, item)
+        sharded.finish()
+        sharded.close()
+        merged = [(e.payload, e.start, e.end) for e in sink.elements]
+        assert merged == run_single()
+
+    def test_key_projected_away_above_the_join_is_fine(self):
+        """A stateless projection that drops the key *above* the last
+        stateful operator does not need the key: routing happens at the
+        sources and the project is applied shard-locally."""
+        keyless = ProjectNode(equi_join(), [(Field("A.v"), "v")])
+        plan = classify_sharding(keyless)
+        assert plan.shardable and plan.mode == "eager"
+        assert plan.routing == {"A": 0, "B": 0}
+
+    def test_key_projected_away_below_a_distinct_is_shd002(self):
+        """The same projection *below* a distinct is refused: the strict
+        finaliser needs the routing value in the payload to co-locate
+        equal rows, and the project dropped it."""
+        keyless = ProjectNode(equi_join(), [(Field("A.v"), "v")])
+        plan = classify_sharding(DistinctNode(keyless))
+        assert not plan.shardable
+        assert "SHD002" in codes(plan)
+        assert "routing value" in plan.explain()
