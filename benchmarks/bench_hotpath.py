@@ -45,9 +45,18 @@ pays even on a single CPU (``cpu_count`` is recorded honestly alongside).
 A hash-join variant of the same workload additionally cross-checks that
 ``MetricsRecorder.aggregate`` over the per-shard recorders reproduces
 the single-process meter exactly, category by category.
+A *fluid migration* triple runs the same 4-way workload over hash
+equi-join trees: ``steady_keyed`` (no migration), ``genmig_keyed_inflight``
+(GenMig over the keyed plan pair) and ``fluid_inflight``
+(``FluidMigration`` with 8 key ranges).  All three share one feed and one
+plan pair, so the ``fluid`` section's mid-migration throughput and p99
+ratios are same-run and noise-immune; the ``--regress`` gate demands
+fluid's in-flight throughput at least match GenMig's on the same run.
 Every scenario additionally reports p50/p95/p99 per-element ingestion
-latency over its timed window — for ``genmig_inflight``, that is the
-per-element latency *during* the migration's parallel phase.
+latency over its timed window — for the ``*_inflight`` scenarios, that is
+the per-element latency *during* the migration's concurrent phase, and a
+``phase_latency_us`` timeline breaks the whole run into pre-/during-/
+post-migration percentiles.
 A ``modelcheck_smoke`` section times the protocol model checker
 (``repro.analysis.modelcheck``/``races``) in schedules explored per
 second — the cost driver of the CI ``modelcheck`` job.
@@ -74,13 +83,13 @@ import platform
 import sys
 import time
 from dataclasses import asdict, dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
 )
 
-from repro.core import GenMig  # noqa: E402
+from repro.core import FluidMigration, GenMig  # noqa: E402
 from repro.engine import (  # noqa: E402
     Box,
     MetricsRecorder,
@@ -88,7 +97,7 @@ from repro.engine import (  # noqa: E402
     ShardedExecutor,
 )
 from repro.engine.transport import LocalTransport  # noqa: E402
-from repro.operators import CostMeter, NestedLoopsJoin  # noqa: E402
+from repro.operators import CostMeter, NestedLoopsJoin, equi_join  # noqa: E402
 from repro.plans import (  # noqa: E402
     Arithmetic,
     Comparison,
@@ -206,29 +215,71 @@ def right_deep_box() -> Box:
     )
 
 
+def _equi(name: str):
+    """Hash equi-join on payload position 0 — the key chain A=B=C=D.
+
+    Every join of both trees keys on column 0 of either input (the join
+    chain transits one value), which is exactly the single key
+    equivalence class fluid migration's per-range drain requires.
+    """
+    return equi_join(0, 0, name=name)
+
+
+def keyed_left_deep_box() -> Box:
+    j1, j2, j3 = _equi("AB"), _equi("ABC"), _equi("ABCD")
+    j1.subscribe(j2, 0)
+    j2.subscribe(j3, 0)
+    return Box(
+        taps={"A": [(j1, 0)], "B": [(j1, 1)], "C": [(j2, 1)], "D": [(j3, 1)]},
+        root=j3,
+        label="((A⋈B)⋈C)⋈D hash",
+    )
+
+
+def keyed_right_deep_box() -> Box:
+    j1, j2, j3 = _equi("CD"), _equi("BCD"), _equi("ABCD")
+    j1.subscribe(j2, 1)
+    j2.subscribe(j3, 1)
+    return Box(
+        taps={"A": [(j3, 0)], "B": [(j2, 0)], "C": [(j1, 0)], "D": [(j1, 1)]},
+        root=j3,
+        label="A⋈(B⋈(C⋈D)) hash",
+    )
+
+
 def run_scenario(
-    config: HotpathConfig, migrate: bool, batch_size: int = 1
+    config: HotpathConfig,
+    migrate: bool,
+    batch_size: int = 1,
+    make_boxes: Optional[Tuple[Callable[[], Box], Callable[[], Box]]] = None,
+    make_strategy: Callable[[], object] = GenMig,
 ) -> Dict[str, object]:
     """Push the workload through an executor, timing the measurement window.
 
     ``batch_size == 1`` uses the element-at-a-time ``push`` feed (the
     reference loop); larger sizes feed per-(timestamp, source) runs through
-    ``push_batch``, with ``batch_during_migration`` enabled so GenMig's
-    parallel phase — where the timed window lies — stays on the batch path.
+    ``push_batch``, with ``batch_during_migration`` enabled so the
+    migration's concurrent phase — where the timed window lies — stays on
+    the batch path.  ``make_boxes`` selects the (old, new) plan pair
+    (default: the nested-loops trees); ``make_strategy`` the migration
+    strategy (default GenMig).
     """
+    old_factory, new_factory = make_boxes or (left_deep_box, right_deep_box)
     sources = {name: PhysicalStream([], name) for name in STREAMS}
     windows = {name: config.window for name in STREAMS}
     metrics = MetricsRecorder(bucket_size=config.bucket)
     executor = QueryExecutor(
         sources,
         windows,
-        left_deep_box(),
+        old_factory(),
         metrics=metrics,
         meter=CostMeter(),
         batch_during_migration=batch_size > 1,
     )
     if migrate:
-        executor.schedule_migration(config.migrate_at, right_deep_box(), GenMig())
+        executor.schedule_migration(
+            config.migrate_at, new_factory(), make_strategy()
+        )
 
     if batch_size == 1:
         feed: List[Tuple[str, object]] = make_events(config)
@@ -241,7 +292,10 @@ def run_scenario(
     timed_seconds = 0.0
     started: Optional[float] = None
     state_at_start = 0
-    latencies: List[float] = []
+    # Per-push (start, per-element latency) over the WHOLE run — the
+    # timed-window percentiles and the migration phase profile both
+    # derive from this one sample list.
+    samples: List[Tuple[int, float]] = []
     for (name, item), size in zip(feed, sizes):
         t = item.start if size == 1 else item.first_start
         if started is None and t >= config.measure_start:
@@ -254,15 +308,20 @@ def run_scenario(
             executor.push(name, item)
         else:
             executor.push_batch(name, item)
+        # Per-element ingestion latency: a batch push is amortised over
+        # its run.
+        samples.append((t, (time.perf_counter() - before) / size))
         if started is not None and timed_seconds == 0.0:
             timed_elements += size
-            # Per-element ingestion latency inside the timed window: a
-            # batch push is amortised over its run.
-            latencies.append((time.perf_counter() - before) / size)
     if started is not None and timed_seconds == 0.0:
         timed_seconds = time.perf_counter() - started
     executor.finish()
 
+    latencies = [
+        lat
+        for t, lat in samples
+        if config.measure_start <= t < config.measure_end
+    ]
     result: Dict[str, object] = {
         "batch_size": batch_size,
         "elements_timed": timed_elements,
@@ -275,9 +334,9 @@ def run_scenario(
     if migrate:
         if not executor.migration_log:
             raise RuntimeError(
-                "genmig_inflight scenario never migrated: the GenMig "
-                "trigger at t={} did not fire — the scenario would "
-                "silently degenerate to the steady one".format(config.migrate_at)
+                "migration scenario never migrated: the trigger at t={} "
+                "did not fire — the scenario would silently degenerate "
+                "to the steady one".format(config.migrate_at)
             )
         report = executor.migration_log[0]
         result["migration"] = {
@@ -285,6 +344,23 @@ def run_scenario(
             "t_split": str(report.t_split),
             "started_at": report.started_at,
             "completed_at": report.completed_at,
+        }
+        # Latency timeline around the migration: ingestion percentiles
+        # before the strategy armed, while the handover was in flight,
+        # and after the old box was severed.  A strategy that removes
+        # the mid-migration cliff shows a "during" column close to the
+        # two steady phases; GenMig's during-p99 is the cliff itself.
+        phases: Dict[str, List[float]] = {"pre": [], "during": [], "post": []}
+        for t, lat in samples:
+            if t < report.started_at:
+                phases["pre"].append(lat)
+            elif t <= report.completed_at:
+                phases["during"].append(lat)
+            else:
+                phases["post"].append(lat)
+        result["phase_latency_us"] = {
+            name: dict(_latency_percentiles(values), pushes=len(values))
+            for name, values in phases.items()
         }
         # The timed window must lie inside the parallel phase, otherwise
         # the scenario silently degenerates to the steady one.  Raise (not
@@ -903,22 +979,95 @@ def main(argv: Optional[List[str]] = None) -> int:
         "scenarios": {},
         "batch_sweep": {},
     }
-    for key, migrate in (("steady", False), ("genmig_inflight", True)):
+    keyed_boxes = (keyed_left_deep_box, keyed_right_deep_box)
+    fluid_ranges = 8
+    scenario_specs: Tuple[
+        Tuple[str, bool, Optional[tuple], Callable[[], object]], ...
+    ] = (
+        ("steady", False, None, GenMig),
+        ("genmig_inflight", True, None, GenMig),
+        # The keyed (hash-join) triple: the same 4-way workload over
+        # hash equi-join trees, once steady, once under GenMig and once
+        # under fluid migration — the three numbers the fluid section
+        # compares are from the same run, same plan pair, same feed.
+        ("steady_keyed", False, keyed_boxes, GenMig),
+        ("genmig_keyed_inflight", True, keyed_boxes, GenMig),
+        (
+            "fluid_inflight",
+            True,
+            keyed_boxes,
+            lambda: FluidMigration(ranges=fluid_ranges),
+        ),
+    )
+    for key, migrate, boxes, make_strategy in scenario_specs:
         sweep: Dict[str, float] = {}
         for batch_size in sweep_sizes:
-            result = run_scenario(config, migrate, batch_size)
+            result = run_scenario(
+                config,
+                migrate,
+                batch_size,
+                make_boxes=boxes,
+                make_strategy=make_strategy,
+            )
             sweep[str(batch_size)] = result["elements_per_sec"]
             if batch_size == config.rate:
                 # Headline numbers: the batch feed at the workload's natural
                 # run length (rate elements per chronon per stream).
                 report["scenarios"][key] = result
             print(
-                f"{key:16s} batch={batch_size:<3d} "
+                f"{key:22s} batch={batch_size:<3d} "
                 f"{result['elements_per_sec']:>12.1f} elements/sec "
                 f"({result['elements_timed']} elements in {result['seconds']:.3f} s, "
                 f"{result['state_values_at_measure_start']} state values)"
             )
         report["batch_sweep"][key] = sweep
+        headline = report["scenarios"].get(key)
+        if headline and "phase_latency_us" in headline:
+            line = ", ".join(
+                f"{phase} p99 "
+                + (f"{p['p99']:.1f}us" if "p99" in p else "n/a")
+                + f" ({p['pushes']} pushes)"
+                for phase, p in headline["phase_latency_us"].items()
+            )
+            print(f"{'':22s} phases: {line}")
+
+    # Fluid vs GenMig on the identical keyed plan pair: every ratio is
+    # same-run (same host, same feed, headline batch size), so the gate
+    # below is immune to runner-to-runner absolute noise.  The timed
+    # window lies entirely inside both migrations' concurrent phases, so
+    # elements_per_sec / latency_us ARE the mid-migration numbers.
+    fluid_result = report["scenarios"]["fluid_inflight"]
+    genmig_keyed = report["scenarios"]["genmig_keyed_inflight"]
+    steady_keyed = report["scenarios"]["steady_keyed"]
+    report["fluid"] = {
+        "ranges": fluid_ranges,
+        "throughput_vs_genmig_keyed": round(
+            fluid_result["elements_per_sec"] / genmig_keyed["elements_per_sec"], 2
+        ),
+        "p99_vs_genmig_keyed": round(
+            fluid_result["latency_us"]["p99"] / genmig_keyed["latency_us"]["p99"], 3
+        ),
+        "throughput_vs_steady_keyed": round(
+            fluid_result["elements_per_sec"] / steady_keyed["elements_per_sec"], 2
+        ),
+        "genmig_keyed_throughput_vs_steady_keyed": round(
+            genmig_keyed["elements_per_sec"] / steady_keyed["elements_per_sec"], 2
+        ),
+        "p99_vs_steady_keyed": round(
+            fluid_result["latency_us"]["p99"] / steady_keyed["latency_us"]["p99"], 3
+        ),
+        "genmig_keyed_p99_vs_steady_keyed": round(
+            genmig_keyed["latency_us"]["p99"] / steady_keyed["latency_us"]["p99"], 3
+        ),
+    }
+    print(
+        f"{'fluid':22s} mid-migration throughput "
+        f"{report['fluid']['throughput_vs_genmig_keyed']:.2f}x of genmig "
+        f"(fluid {report['fluid']['throughput_vs_steady_keyed']:.2f}x of "
+        f"steady vs genmig "
+        f"{report['fluid']['genmig_keyed_throughput_vs_steady_keyed']:.2f}x), "
+        f"p99 {report['fluid']['p99_vs_genmig_keyed']:.2f}x of genmig"
+    )
 
     fusion_config = FUSION_SMOKE if args.smoke else FUSION_FULL
     clear_kernel_cache()
@@ -1169,6 +1318,27 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"N={widest} (cross-mode) [{status}]"
             )
             failed = failed or speedup <= 1.0
+        # Fluid migration's reason to exist is the mid-migration cliff:
+        # in the same run, on the identical keyed plan pair, its in-flight
+        # throughput must at least match GenMig's.  A same-run ratio, so
+        # no --min-ratio slack is needed or given; the p99 comparison is
+        # reported above but only gated on full runs (a smoke window has
+        # too few pushes for a stable tail percentile).
+        fluid_ratio = report["fluid"]["throughput_vs_genmig_keyed"]
+        status = "ok" if fluid_ratio >= 1.0 else "REGRESSION"
+        print(
+            f"{'fluid throughput':16s} {fluid_ratio:.2f}x of same-run genmig "
+            f"(keyed plan pair, mid-migration) [{status}]"
+        )
+        failed = failed or fluid_ratio < 1.0
+        if report["mode"] == "full":
+            p99_ratio = report["fluid"]["p99_vs_genmig_keyed"]
+            status = "ok" if p99_ratio <= 1.0 else "REGRESSION"
+            print(
+                f"{'fluid p99':16s} {p99_ratio:.2f}x of same-run genmig "
+                f"(lower is better) [{status}]"
+            )
+            failed = failed or p99_ratio > 1.0
         if failed:
             print(f"throughput fell below {args.min_ratio:.2f}x of {args.regress}")
             return 1

@@ -54,7 +54,16 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..temporal import Multiset, StreamElement, critical_instants, snapshot
 from ..temporal.time import MAX_TIME, Time
-from .plan_verifier import ERROR, GENMIG, INFO, PARALLEL_TRACK, REFERENCE_POINT, WARNING, Diagnostic
+from .plan_verifier import (
+    ERROR,
+    FLUID,
+    GENMIG,
+    INFO,
+    PARALLEL_TRACK,
+    REFERENCE_POINT,
+    WARNING,
+    Diagnostic,
+)
 
 #: Default schedule budget: generous for the bundled presets (which need
 #: a few hundred schedules each post-pruning) yet a hard stop for
@@ -616,6 +625,16 @@ def _three_way_plan():
 _JOINS_STREAMS = {"A": (("a", 5), ("a", 12)), "B": (("a", 8),), "C": (("a", 10),)}
 _JOINS_WINDOWS = {"A": 20, "B": 20, "C": 20}
 
+#: Fluid needs keys in *both* hash ranges of ``FluidMigration(ranges=2)``:
+#: ``shard_of('a', 2) == 0`` and ``shard_of('b', 2) == 1``, so the 'b'
+#: element crosses the frontier while range 0 is in flight, and the late
+#: 'a' element probes range 0's seeded state after its flip.
+_FLUID_STREAMS = {
+    "A": (("a", 5), ("b", 6), ("a", 12)),
+    "B": (("a", 8),),
+    "C": (("a", 10),),
+}
+
 
 def _pt_figure2() -> Scenario:
     from ..core.parallel_track import ParallelTrack
@@ -712,11 +731,32 @@ def _rp_joins() -> Scenario:
     )
 
 
+def _fluid_joins() -> Scenario:
+    from ..core.fluid import FluidMigration
+
+    return Scenario(
+        name="fluid-joins",
+        description=(
+            "Fluid migration on the 3-way join reordering with join keys "
+            "in both hash ranges: the per-range drain/seed/flip handover "
+            "behind the routing frontier, under every schedule"
+        ),
+        strategy=FLUID,
+        streams=dict(_FLUID_STREAMS),
+        windows=dict(_JOINS_WINDOWS),
+        old_box=_left_deep_box,
+        new_box=_right_deep_box,
+        make_strategy=lambda: FluidMigration(ranges=2),
+        plan=_three_way_plan(),
+    )
+
+
 PRESETS: Dict[str, Callable[[], Scenario]] = {
     "pt-figure2": _pt_figure2,
     "genmig-figure2": _genmig_figure2,
     "pt-joins": _pt_joins,
     "rp-joins": _rp_joins,
+    "fluid-joins": _fluid_joins,
 }
 
 
@@ -764,23 +804,63 @@ def _early_split_strategy():
     return _EarlySplitGenMig()
 
 
+def _early_flip_strategy():
+    """Fluid migration that flips the frontier *before* the range drain.
+
+    The correct protocol drains the old box's state for a range and seeds
+    the new box within the same tick the frontier flips; this bug flips
+    first and lets the drain land one ``after_event`` tick late.  An
+    element of the flipped range delivered in that window probes the new
+    box's still-unseeded state, silently missing join results — the
+    checker must surface MCK001 on the schedules that interleave a
+    delivery into the gap.
+    """
+    from ..core.fluid import FluidMigration
+
+    class _EarlyFlipFluid(FluidMigration):
+        name = "fluid-early-flip"
+
+        def __init__(self) -> None:
+            super().__init__(ranges=2)
+            self._owed: List[int] = []
+
+        def _migrate_range(self, executor, index: int) -> None:
+            # BUG: frontier flips now, drain deferred to the next tick.
+            self._flip_range(executor, index)
+            self._owed.append(index)
+
+        def after_event(self, executor) -> None:
+            owed, self._owed = self._owed, []
+            for index in owed:
+                self._drain_range(executor, index)
+            super().after_event(executor)
+
+    return _EarlyFlipFluid()
+
+
 #: Deliberate protocol bugs, injectable via ``--seed-bug``: each maps a
 #: scenario to a broken variant so CI can assert the checker fails loudly.
-SEED_BUGS = ("early-split",)
+SEED_BUGS = ("early-split", "early-flip")
+
+_BUG_STRATEGIES = {
+    "early-split": (_early_split_strategy, "early T_split"),
+    "early-flip": (_early_flip_strategy, "frontier flip before range drain"),
+}
 
 
 def seed_bug(scenario: Scenario, bug: str) -> Scenario:
     """Return a copy of ``scenario`` with a deliberate protocol bug."""
-    if bug == "early-split":
+    if bug in _BUG_STRATEGIES:
+        make_strategy, detail = _BUG_STRATEGIES[bug]
         return Scenario(
-            name=f"{scenario.name}+early-split",
-            description=f"{scenario.description} [seeded bug: early T_split]",
+            name=f"{scenario.name}+{bug}",
+            description=f"{scenario.description} [seeded bug: {detail}]",
             strategy=scenario.strategy,
             streams=scenario.streams,
             windows=scenario.windows,
             old_box=scenario.old_box,
             new_box=scenario.new_box,
-            make_strategy=_early_split_strategy,
+            make_strategy=make_strategy,
             plan=scenario.plan,
             expect_violation=scenario.expect_violation,
             interval_bound=scenario.interval_bound,

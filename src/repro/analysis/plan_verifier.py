@@ -67,7 +67,8 @@ INFO = "info"
 PARALLEL_TRACK = "parallel-track"
 REFERENCE_POINT = "reference-point"
 GENMIG = "genmig"
-STRATEGIES = (PARALLEL_TRACK, REFERENCE_POINT, GENMIG)
+FLUID = "fluid"
+STRATEGIES = (PARALLEL_TRACK, REFERENCE_POINT, GENMIG, FLUID)
 
 
 @dataclass(frozen=True)
@@ -121,10 +122,17 @@ class OperatorClassification:
     start_preserving: bool
     stateful: bool
     pt_compatible: bool
+    #: Whether the operator's state is partitioned by a key function —
+    #: the precondition for fluid migration's per-key-range drain.
+    keyed: bool = False
 
     @classmethod
     def of_kind(
-        cls, label: str, kind: str, snapshot_reducible: bool = True
+        cls,
+        label: str,
+        kind: str,
+        snapshot_reducible: bool = True,
+        keyed: bool = False,
     ) -> "OperatorClassification":
         start_preserving, stateful, pt_compatible, _ = _KIND_TRAITS[kind]
         return cls(
@@ -134,6 +142,7 @@ class OperatorClassification:
             start_preserving=start_preserving,
             stateful=stateful,
             pt_compatible=pt_compatible,
+            keyed=keyed,
         )
 
     @property
@@ -159,7 +168,9 @@ def classify_logical(node: LogicalPlan) -> OperatorClassification:
     if isinstance(node, (SelectNode, ProjectNode)):
         return OperatorClassification.of_kind(label, "stateless")
     if isinstance(node, JoinNode):
-        return OperatorClassification.of_kind(label, "join")
+        return OperatorClassification.of_kind(
+            label, "join", keyed=node.equi_columns() is not None
+        )
     if isinstance(node, UnionNode):
         return OperatorClassification.of_kind(label, "order-restoring")
     if isinstance(node, (DistinctNode, AggregateNode, DifferenceNode)):
@@ -267,7 +278,9 @@ def classify_operator(op: object) -> Tuple[OperatorClassification, Optional[Diag
                 ),
             )
         return (
-            OperatorClassification.of_kind(label, declared, reducible),
+            OperatorClassification.of_kind(
+                label, declared, reducible, keyed=bool(getattr(op, "keyed_state", False))
+            ),
             _columnar_state_diagnostic(op, label),
         )
     if isinstance(op, FusedStateless):
@@ -297,7 +310,12 @@ def classify_operator(op: object) -> Tuple[OperatorClassification, Optional[Diag
         )
         return OperatorClassification.of_kind(label, kind, reducible), None
     if isinstance(op, _JoinBase):
-        return OperatorClassification.of_kind(label, "join", reducible), None
+        return (
+            OperatorClassification.of_kind(
+                label, "join", reducible, keyed=bool(getattr(op, "keyed_state", False))
+            ),
+            None,
+        )
     if isinstance(op, (Select, Project)):
         return OperatorClassification.of_kind(label, "stateless", reducible), None
     if isinstance(op, Union):
@@ -338,6 +356,7 @@ def _strategy_verdicts(
     pt_diags: List[Diagnostic] = []
     rp_diags: List[Diagnostic] = []
     gm_diags: List[Diagnostic] = []
+    flm_diags: List[Diagnostic] = []
     for cls in operators:
         if not cls.pt_compatible:
             pt_diags.append(
@@ -364,6 +383,31 @@ def _strategy_verdicts(
                     operator=cls.label,
                 )
             )
+        if cls.stateful and not cls.keyed:
+            flm_diags.append(
+                Diagnostic(
+                    ERROR,
+                    "FLM001",
+                    f"operator {cls.label!r} is stateful but not keyed: fluid "
+                    "migration drains state one key range at a time, which "
+                    "requires every stateful operator to partition its state "
+                    "by a key function (an equi-join); use GenMig",
+                    operator=cls.label,
+                )
+            )
+        if not cls.start_preserving:
+            flm_diags.append(
+                Diagnostic(
+                    ERROR,
+                    "FLM002",
+                    f"operator {cls.label!r} is not start-preserving: fluid "
+                    "migration's per-range handover assumes the old box has "
+                    "already emitted every result derivable from pre-flip "
+                    "elements of a range, which only holds when results start "
+                    "at a contributing input's start; use GenMig",
+                    operator=cls.label,
+                )
+            )
         if not cls.snapshot_reducible:
             gm_diags.append(
                 Diagnostic(
@@ -384,6 +428,9 @@ def _strategy_verdicts(
             REFERENCE_POINT, not rp_diags and not gm_diags, tuple(rp_diags + gm_diags)
         ),
         GENMIG: StrategyVerdict(GENMIG, not gm_diags, tuple(gm_diags)),
+        FLUID: StrategyVerdict(
+            FLUID, not flm_diags and not gm_diags, tuple(flm_diags + gm_diags)
+        ),
     }
 
 
@@ -871,12 +918,39 @@ def verify_box(box: "Box") -> PlanVerdict:
             )
         )
     operators = tuple(classifications)
+    strategies = _strategy_verdicts(operators)
+
+    # FLM003: fluid migration drains state through the tap operators, so
+    # every tap must land on a keyed stateful operator's entry port — a
+    # tap feeding anything else (a Select in front of the join, say) has
+    # no per-key state to drain at the routing frontier.
+    flm_taps: List[Diagnostic] = []
+    for ports in box.taps.values():
+        for op, port in ports:
+            if not getattr(op, "keyed_state", False):
+                flm_taps.append(
+                    Diagnostic(
+                        ERROR,
+                        "FLM003",
+                        f"tap feeds input port {port} of a non-keyed "
+                        "operator: fluid migration can only hand over a key "
+                        "range when the tap lands directly on keyed join "
+                        "state (the range drain happens at the frontier)",
+                        operator=getattr(op, "name", type(op).__name__),
+                    )
+                )
+    if flm_taps:
+        base = strategies[FLUID]
+        strategies[FLUID] = StrategyVerdict(
+            FLUID, False, base.diagnostics + tuple(flm_taps)
+        )
+
     return PlanVerdict(
         target=box.label or "box",
         profile=_profile(operators),
         operators=operators,
         diagnostics=tuple(diagnostics),
-        strategies=_strategy_verdicts(operators),
+        strategies=strategies,
     )
 
 

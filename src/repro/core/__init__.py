@@ -9,9 +9,12 @@
   including the Section-3 defect on non-join stateful operators.
 * :class:`MovingStates` — the other strategy of [Zhu et al. 2004], for
   join trees only.
+* :class:`FluidMigration` — Megaphone-style per-key-range handover behind
+  a routing frontier, for keyed join trees.
 """
 
 from .coalesce import Coalesce
+from .fluid import FluidMigration, FrontierRouter
 from .genmig import GenMig, ShortenedGenMig
 from .moving_states import MovingStates
 from .parallel_track import ParallelTrack
@@ -27,6 +30,8 @@ from .strategy import (
 
 __all__ = [
     "Coalesce",
+    "FluidMigration",
+    "FrontierRouter",
     "GenMig",
     "MigrationReport",
     "MigrationStrategy",

@@ -25,7 +25,7 @@ of seeding work in step 3, visible on the cost meter.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Any, Dict, List, Tuple
 
 from ..engine.box import Box
 from ..operators.base import Operator
@@ -168,6 +168,8 @@ class _StateSeeder:
     def _join(self, operator: _JoinBase) -> List[StreamElement]:
         lefts = self._input_stream(operator, 0)
         rights = self._input_stream(operator, 1)
+        if getattr(operator, "keyed_state", False):
+            return self._join_keyed(operator, lefts, rights)
         results: List[StreamElement] = []
         for left in lefts:
             for right in rights:
@@ -179,5 +181,41 @@ class _StateSeeder:
                     continue
                 results.append(
                     StreamElement(operator.combiner(left.payload, right.payload), overlap)
+                )
+        return results
+
+    def _join_keyed(
+        self,
+        operator: _JoinBase,
+        lefts: List[StreamElement],
+        rights: List[StreamElement],
+    ) -> List[StreamElement]:
+        """Hash-paired seeding for keyed (equi-) joins.
+
+        ``pair_matches`` of a keyed join is exactly key equality, so
+        bucketing the right side and probing per left key yields the same
+        pairs in the same order as the all-pairs scan — at the runtime
+        join's own cost profile (one hash charge per probe, predicate
+        cost per candidate) instead of |L|·|R| candidate charges.  This
+        is what keeps fluid migration's per-range reseeding off the
+        quadratic path the whole-box Moving States computation tolerates
+        once per migration but a per-flip drain cannot.
+        """
+        left_key, right_key = operator._keys
+        buckets: Dict[Any, List[StreamElement]] = {}
+        for right in rights:
+            buckets.setdefault(right_key(right.payload), []).append(right)
+        results: List[StreamElement] = []
+        for left in lefts:
+            self._meter.charge(1, "ms-seed")
+            for right in buckets.get(left_key(left.payload), ()):
+                self._meter.charge(operator.predicate_cost, "ms-seed")
+                overlap = left.interval.intersect(right.interval)
+                if overlap is None:
+                    continue
+                results.append(
+                    StreamElement(
+                        operator.combiner(left.payload, right.payload), overlap
+                    )
                 )
         return results

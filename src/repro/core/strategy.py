@@ -208,15 +208,17 @@ def select_strategy(
     verdict.  ``modelcheck_budget`` bounds the exploration per scenario.
     """
     from ..analysis.plan_verifier import (
+        FLUID,
         PARALLEL_TRACK,
         REFERENCE_POINT,
         verify_migration,
     )
+    from .fluid import FluidMigration
     from .genmig import GenMig
     from .parallel_track import ParallelTrack
     from .reference_point import ReferencePointGenMig
 
-    if prefer not in ("auto", "coalesce", "reference-point", "parallel-track"):
+    if prefer not in ("auto", "coalesce", "reference-point", "parallel-track", "fluid"):
         raise ValueError(f"unknown strategy preference {prefer!r}")
     verdict = verify_migration(
         old_box, new_box, scenarios=scenarios, modelcheck_budget=modelcheck_budget
@@ -230,6 +232,12 @@ def select_strategy(
         and verdict.strategies[PARALLEL_TRACK].safe
     ):
         strategy = ParallelTrack()
+    elif prefer == "fluid" and verdict.strategies[FLUID].safe:
+        # Opt-in only: fluid beats GenMig on mid-migration latency for
+        # keyed join trees, but the auto policy stays on the paper's
+        # strategies — explicit preference plus a safe FLM verdict is
+        # required to take the incremental path.
+        strategy = FluidMigration()
     elif verdict.strategies[REFERENCE_POINT].safe:
         strategy = ReferencePointGenMig()
     else:

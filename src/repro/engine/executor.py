@@ -416,8 +416,7 @@ class QueryExecutor:
                 j += 1
             self._fire_actions(start)
             if self.strategy is not None and not (
-                self.batch_during_migration
-                and getattr(self.strategy, "batchable", False)
+                self.batch_during_migration and self.strategy.batchable
             ):
                 for element in elements[i:]:
                     self._step_element(name, element, remaining)

@@ -67,6 +67,7 @@ class ColumnarJoinState:
         "keys",
         "buckets",
         "_heap",
+        "_dead",
         "_sweep_pos",
         "_sorted",
         "_last_end",
@@ -84,6 +85,7 @@ class ColumnarJoinState:
         self.keys: List[Any] = []
         self.buckets: dict = {}
         self._heap: List[tuple] = []
+        self._dead: set = set()
         self._sweep_pos = 0
         self._sorted = retention is None
         self._last_end: Time = MIN_TIME
@@ -128,6 +130,9 @@ class ColumnarJoinState:
         ]
         heapq.heapify(heap)
         self._heap = heap
+        # The heap is rebuilt from the live buckets only, so extracted
+        # indices can no longer surface from it — drop their markers.
+        self._dead.clear()
 
     # ------------------------------------------------------------------ #
     # Mutation
@@ -231,6 +236,7 @@ class ColumnarJoinState:
         self.keys = []
         self.buckets = {}
         self._heap = []
+        self._dead = set()
         self._sweep_pos = 0
         self._sorted = self._retention is None
         self._last_end = MIN_TIME
@@ -264,7 +270,12 @@ class ColumnarJoinState:
         keys = self.keys
         rows = self.rows
         flags = self.flags
+        dead = self._dead
+        removed = 0
         for index in range(pos, cut):
+            if index in dead:  # drained by a range extraction
+                dead.discard(index)
+                continue
             key = keys[index]
             bucket = buckets[key]
             head = bucket.pop(0)
@@ -275,7 +286,8 @@ class ColumnarJoinState:
             self._values -= len(rows[index])
             if flags[index] is not None:
                 self._flag_count -= 1
-        self._live -= cut - pos
+            removed += 1
+        self._live -= removed
         self._sweep_pos = cut
         if cut > _COMPACT_THRESHOLD and cut * 2 > len(self.starts):
             self._compact()
@@ -283,8 +295,12 @@ class ColumnarJoinState:
     def _expire_heap(self, watermark: Time) -> None:
         heap = self._heap
         buckets = self.buckets
+        dead = self._dead
         while heap and heap[0][0] <= watermark:
             index = heapq.heappop(heap)[1]
+            if index in dead:  # drained by a range extraction
+                dead.discard(index)
+                continue
             key = self.keys[index]
             bucket = buckets[key]
             bucket.remove(index)
@@ -305,7 +321,30 @@ class ColumnarJoinState:
         self.keys = self.keys[pos:]
         for key, bucket in self.buckets.items():
             self.buckets[key] = [index - pos for index in bucket]
+        self._dead = {index - pos for index in self._dead if index >= pos}
         self._sweep_pos = 0
+
+    def extract(self, predicate: Callable[[Any], bool]) -> List[StreamElement]:
+        """Remove and return every element whose bucket key satisfies
+        ``predicate`` — the fluid-migration range drain.
+
+        Touches only the matching buckets; the arrays keep the drained
+        rows, whose indices are marked dead and skipped by both expiry
+        modes (and rebased by :meth:`_compact`) until the sweep passes
+        them.  Returned in iteration order: bucket first-touch order,
+        insertion order within a bucket.
+        """
+        drained: List[StreamElement] = []
+        dead = self._dead
+        for key in [k for k in self.buckets if predicate(k)]:
+            for index in self.buckets.pop(key):
+                drained.append(self._element_at(index))
+                dead.add(index)
+                self._values -= len(self.rows[index])
+                if self.flags[index] is not None:
+                    self._flag_count -= 1
+        self._live -= len(drained)
+        return drained
 
     # ------------------------------------------------------------------ #
     # Inspection

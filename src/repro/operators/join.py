@@ -190,6 +190,10 @@ class HashJoin(_JoinBase):
     path, which reads and writes the same columnar state.
     """
 
+    #: Verifier/fluid-migration marker: state is partitioned by the join
+    #: key, so a key-range drain touches only the matching buckets.
+    keyed_state = True
+
     #: Columnar mode flag; when set, ``_probe_kernels``/``_key_indices``
     #: hold the per-port compiled kernels and positional key columns.
     _columnar = False
@@ -450,10 +454,12 @@ class HashJoin(_JoinBase):
             self._on_run_tail_columnar(elements, port)
             return
         partner_state = self._states[1 - port]
-        tested = len(partner_state)
         key_of = self._keys[port]
         bucket_of = partner_state.bucket
         probe = self.selectivity_probe
+        # len() of a keyed sweep area walks every bucket — only pay for
+        # it when a selectivity probe is actually attached.
+        tested = len(partner_state) if probe is not None else 0
         match = self._match
         insert = self._states[port].insert
         total_matches = 0
@@ -547,6 +553,41 @@ class HashJoin(_JoinBase):
         """Replace one input's state wholesale — used by Moving States."""
         self._check_port(port)
         self._states[port].replace(self._keys[port], elements)
+
+    def extract_state_of_port(
+        self, port: int, key_predicate: Callable[[Any], bool]
+    ) -> List[StreamElement]:
+        """Drain the alive elements of one input whose *join key* satisfies
+        ``key_predicate`` — the fluid-migration per-range counterpart of
+        :meth:`state_of_port`.  The drained elements leave this side's
+        state entirely; the untouched keys keep probing undisturbed.
+        """
+        self._check_port(port)
+        return self._states[port].extract(key_predicate)
+
+    def absorb_state(self, port: int, elements: List[StreamElement]) -> None:
+        """Merge elements into one input's state without clearing it —
+        the fluid-migration per-range counterpart of :meth:`seed_state`.
+        Seeded intervals may lie below the port watermark; they enter
+        state directly (never ``process``), so ordering checks don't
+        apply, and an already-expired straggler simply never intersects
+        a live probe.
+        """
+        self._check_port(port)
+        key_of = self._keys[port]
+        state = self._states[port]
+        if self._columnar:
+            for element in elements:
+                state.insert(
+                    key_of(element.payload),
+                    element.interval.start,
+                    element.interval.end,
+                    element.payload,
+                    element.flag,
+                )
+        else:
+            for element in elements:
+                state.insert(key_of(element.payload), element)
 
     def pair_matches(self, left: Payload, right: Payload) -> bool:
         """Whether two payloads satisfy the (equi-)join predicate."""

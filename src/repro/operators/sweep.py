@@ -287,6 +287,25 @@ class KeyedSweepArea:
         self._values -= sum(_payload_values(e) for e in expired)
         return expired
 
+    def extract(self, predicate: Callable[[Any], bool]) -> List[StreamElement]:
+        """Remove and return every element whose bucket key satisfies
+        ``predicate`` — the fluid-migration range drain.
+
+        Touches only the matching buckets plus their index entries; heap
+        entries of removed elements go stale and are skipped lazily by
+        later :meth:`expire` calls, exactly like :meth:`SweepArea.prune`.
+        Returned in iteration order: bucket first-touch order, insertion
+        order within a bucket.
+        """
+        drained: List[StreamElement] = []
+        for key in [k for k in self._buckets if predicate(k)]:
+            bucket = self._buckets.pop(key)
+            for seq, element in bucket.items():
+                del self._index[seq]
+                drained.append(element)
+                self._values -= _payload_values(element)
+        return drained
+
     # -- inspection ---------------------------------------------------- #
 
     def bucket(self, key: Any) -> Iterable[StreamElement]:

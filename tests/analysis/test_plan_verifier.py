@@ -14,6 +14,7 @@ from repro.analysis import (
 )
 from repro.analysis.plan_verifier import (
     ERROR,
+    FLUID,
     GENMIG,
     PARALLEL_TRACK,
     REFERENCE_POINT,
@@ -104,7 +105,26 @@ class TestProfiles:
             PARALLEL_TRACK,
             REFERENCE_POINT,
             GENMIG,
+            FLUID,
         )
+
+    def test_equi_join_is_fluid_safe(self):
+        verdict = verify_plan(JoinNode(A, B, AB))
+        assert verdict.strategies[FLUID].safe
+
+    def test_theta_join_rejected_for_fluid(self):
+        theta = Comparison("<", Field("A.x"), Field("B.y"))
+        verdict = verify_plan(JoinNode(A, B, theta))
+        fluid = verdict.strategies[FLUID]
+        assert not fluid.safe
+        assert any(d.code == "FLM001" for d in fluid.diagnostics)
+
+    def test_aggregate_rejected_for_fluid(self):
+        verdict = verify_plan(AggregateNode(A, [AggregateSpec("count", "A.x")]))
+        fluid = verdict.strategies[FLUID]
+        assert not fluid.safe
+        assert any(d.code == "FLM001" for d in fluid.diagnostics)
+        assert any(d.code == "FLM002" for d in fluid.diagnostics)
 
 
 class TestSchemaValidation:
